@@ -1,0 +1,64 @@
+"""Figure 1: GEMM vs BatchedGEMM performance on K40c and P100.
+
+The paper benchmarks cuBLAS GEMM of size N^2 x N x N against
+BatchedGEMM of N multiplies of size N x N x N, in single and double
+precision, and overlays the Section 5.4 roofline parameters.  We
+regenerate the curves from the device model (the BatchedGEMM derate on
+K40c and near-parity on P100 are the calibrated facts this figure
+established), and additionally benchmark this host's *real* batched
+matmul throughput as an honest measured series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import emit
+from repro.machine.roofline import gemm_performance
+from repro.machine.spec import K40C, P100
+from repro.util.table import Table
+
+SIZES = [32, 64, 128, 192, 256, 384, 512, 768, 1024]
+
+
+def _model_table() -> str:
+    parts = []
+    for dev in (K40C, P100):
+        t = Table(
+            ["N", "SGEMM", "BatchedSGEMM", "DGEMM", "BatchedDGEMM"],
+            title=f"Figure 1 ({dev.name}) — modeled GFlop/s "
+            f"(gamma_f={dev.gamma_f/1e12:.1f} TF, gamma_d={dev.gamma_d/1e12:.1f} TF, "
+            f"beta={dev.beta/1e9:.0f} GB/s)",
+        )
+        for n in SIZES:
+            t.add_row([
+                n,
+                gemm_performance(dev, n, np.float32) / 1e9,
+                gemm_performance(dev, n, np.float32, batched=True) / 1e9,
+                gemm_performance(dev, n, np.float64) / 1e9,
+                gemm_performance(dev, n, np.float64, batched=True) / 1e9,
+            ])
+        parts.append(t.render())
+    return "\n\n".join(parts)
+
+
+def test_fig1_gemm_curves(benchmark):
+    text = benchmark.pedantic(_model_table, rounds=1, iterations=1)
+    emit("fig1_gemm", text)
+    # the figure's two qualitative facts
+    assert gemm_performance(K40C, 512, np.float32, batched=True) < 0.7 * gemm_performance(
+        K40C, 512, np.float32
+    )
+    assert gemm_performance(P100, 512, np.float32, batched=True) > 0.85 * gemm_performance(
+        P100, 512, np.float32
+    )
+
+
+def test_fig1_host_batched_matmul(benchmark):
+    """Real measured batched GEMM on this host (NumPy/BLAS), the
+    engine's compute substrate."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((64, 128, 128))
+    b = rng.standard_normal((64, 128, 128))
+
+    result = benchmark(lambda: a @ b)
+    assert result.shape == (64, 128, 128)

@@ -1,0 +1,76 @@
+"""Figure 4: fraction of FMM time spent in each kernel class vs N.
+
+2xP100, double-complex, fastest configuration per N.  The paper's
+observation: at small N (latency-bound, L = B favored) M2L-B and S2T do
+the work; at large N, BatchedGEMM and S2T dominate and M2L-B is
+negligible — "a significant divergence from most FMM studies".
+"""
+
+import pytest
+
+from repro.bench.figures import emit
+from repro.core.plan import FmmFftPlan
+from repro.fmm.distributed import DistributedFMM
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import dual_p100_nvlink
+from repro.model.search import find_fastest
+from repro.util.table import Table
+
+QS = list(range(12, 28, 2))
+
+KERNEL_CLASSES = ("M2L-B", "M2L-ell", "S2T", "B-GEMM", "GEMV")
+
+
+def _classify(name: str) -> str | None:
+    if name == "M2L-B":
+        return "M2L-B"
+    if name.startswith("M2L-"):
+        return "M2L-ell"
+    if name == "S2T":
+        return "S2T"
+    if name in ("S2M", "L2T") or name.startswith(("M2M", "L2L")):
+        return "B-GEMM"
+    if name == "REDUCE":
+        return "GEMV"
+    return None
+
+
+def fmm_time_fractions(q: int, spec) -> dict[str, float]:
+    r = find_fastest(1 << q, spec)
+    plan = FmmFftPlan.create(
+        N=1 << q, G=spec.num_devices, build_operators=False, **r.params
+    )
+    cl = VirtualCluster(spec, execute=False)
+    DistributedFMM(plan.geometry, cl).run(staged=True)
+    acc = {k: 0.0 for k in KERNEL_CLASSES}
+    for name, t in cl.ledger.time_by_name().items():
+        cls = _classify(name)
+        if cls is not None:
+            acc[cls] += t
+    total = sum(acc.values())
+    return {k: v / total for k, v in acc.items()}
+
+
+def _sweep():
+    spec = dual_p100_nvlink()
+    return {q: fmm_time_fractions(q, spec) for q in QS}
+
+
+def test_fig4_kernel_fractions(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    t = Table(
+        ["log2N"] + list(KERNEL_CLASSES),
+        title="Figure 4: fraction of FMM time per kernel (2xP100, cdouble)",
+    )
+    for q, frac in rows.items():
+        t.add_row([q] + [frac[k] for k in KERNEL_CLASSES])
+    emit("fig4_kernel_fractions", t.render())
+
+    large = rows[max(rows)]
+    # "the M2L-B stage is negligible and the time is dominated by
+    #  BatchedGEMM and the S2T stage" for large N
+    assert large["M2L-B"] < 0.1
+    assert large["B-GEMM"] + large["S2T"] > 0.6
+    # sanity: fractions form a distribution
+    for frac in rows.values():
+        assert sum(frac.values()) == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Figure 8: B (base level) dependence of the FMM stage.
+
+N = 2^27, P = 256, M_L = 64, G = 2, double-complex, B swept 3..11.
+The paper's point: despite the 2^B(2^B-3) growth of dense base-level
+work, performance is flat until B ~ 11 — so B > 2 can be used freely to
+trade tree-top latency/communication for dense compute.
+"""
+
+import pytest
+
+from repro.bench.figures import emit
+from repro.fmm.distributed import DistributedFMM
+from repro.fmm.plan import FmmGeometry
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import dual_p100_nvlink
+from repro.model.flops import fmm_total_flops
+from repro.model.roofline import fmm_model_time
+from repro.util.table import Table
+
+N, P, ML, Q, G = 1 << 27, 256, 64, 16, 2
+BS = list(range(3, 12))
+
+
+def _sweep():
+    spec = dual_p100_nvlink()
+    rows = {}
+    for B in BS:
+        geom = FmmGeometry.create(M=N // P, P=P, ML=ML, B=B, Q=Q, G=G)
+        cl = VirtualCluster(spec, execute=False)
+        DistributedFMM(geom, cl).run(staged=True)
+        rows[B] = dict(
+            gflops=fmm_total_flops(geom, "complex128") / 1e9,
+            model_ms=fmm_model_time(geom, spec, "complex128") * 1e3,
+            measured_ms=cl.wall_time() * 1e3,
+        )
+    return rows
+
+
+def test_fig8_b_dependence(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    t = Table(
+        ["B", "FMM Ops [GFlops]", "FMM Model [msec]", "FMM Measured [msec]"],
+        title=f"Figure 8: B dependence (N=2^27, P={P}, ML={ML}, G={G}, cdouble)",
+    )
+    for B, r in rows.items():
+        t.add_row([B, r["gflops"], r["model_ms"], r["measured_ms"]])
+    emit("fig8_b_dependence", t.render())
+
+    # flat until the base-level work takes over near B ~ 11
+    assert rows[8]["measured_ms"] < 1.25 * rows[3]["measured_ms"]
+    assert rows[11]["measured_ms"] > 1.5 * rows[3]["measured_ms"]
+    # flops grow monotonically with B at the top end
+    assert rows[11]["gflops"] > rows[9]["gflops"] > rows[7]["gflops"]

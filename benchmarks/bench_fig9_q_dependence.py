@@ -1,0 +1,89 @@
+"""Figure 9: Q (expansion order) dependence — cost (top) and accuracy
+(bottom).
+
+Top: flop count and model time vs Q at N = 2^28, P = 128, M_L = 64,
+B = 3, G = 2 (weak dependence).
+
+Bottom: measured relative l2 error of the full double-complex FMM-FFT
+vs Q, input components uniform in [-1, 1].  The paper observes the
+odd-even staircase Edelman reported, a floor near machine precision,
+and no improvement above Q ~ 18.  The error measurement runs the *real*
+numerics (at a feasible N — the error is N-insensitive by construction
+of the kernels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import emit
+from repro.core.plan import FmmFftPlan
+from repro.core.single import fmmfft_relative_error
+from repro.fmm.plan import FmmGeometry
+from repro.machine.spec import dual_p100_nvlink
+from repro.model.flops import fmm_total_flops
+from repro.model.roofline import fmm_model_time
+from repro.util.prng import random_signal
+from repro.util.table import Table
+
+QS = list(range(2, 25, 2))
+
+
+def _cost_sweep():
+    spec = dual_p100_nvlink()
+    N, P, ML, B, G = 1 << 28, 128, 64, 3, 2
+    rows = {}
+    for Q in QS:
+        geom = FmmGeometry.create(M=N // P, P=P, ML=ML, B=B, Q=Q, G=G)
+        rows[Q] = dict(
+            gflops=fmm_total_flops(geom, "complex128") / 1e9,
+            model_ms=fmm_model_time(geom, spec, "complex128") * 1e3,
+        )
+    return rows
+
+
+def _error_sweep():
+    N, P, ML, B = 1 << 13, 16, 16, 3
+    x = random_signal(N, "complex128", seed=99)
+    errs = {}
+    for Q in range(2, 25):
+        plan = FmmFftPlan.create(N=N, P=P, ML=ML, B=B, Q=Q)
+        errs[Q] = fmmfft_relative_error(x, plan)
+    return errs
+
+
+def test_fig9_top_cost(benchmark):
+    rows = benchmark.pedantic(_cost_sweep, rounds=1, iterations=1)
+    t = Table(
+        ["Q", "FMM Ops [GFlops]", "FMM Model [msec]"],
+        title="Figure 9 (top): Q dependence of cost (N=2^28, P=128, ML=64, B=3, G=2)",
+    )
+    for Q, r in rows.items():
+        t.add_row([Q, r["gflops"], r["model_ms"]])
+    emit("fig9_q_cost", t.render())
+    # weak dependence: 3x range of Q < 2.5x range of time
+    assert rows[24]["model_ms"] < 2.5 * rows[8]["model_ms"]
+
+
+def test_fig9_bottom_accuracy(benchmark):
+    errs = benchmark.pedantic(_error_sweep, rounds=1, iterations=1)
+    t = Table(
+        ["Q", "relative l2 error"],
+        title="Figure 9 (bottom): Q dependence of FMM-FFT accuracy (cdouble)",
+    )
+    for Q, e in errs.items():
+        t.add_row([Q, f"{e:.3e}"])
+    emit("fig9_q_accuracy", t.render())
+
+    # geometric convergence until the machine-precision floor
+    assert errs[4] < errs[2]
+    assert errs[8] < 1e-3 * errs[2]
+    assert errs[16] < 1e-2 * errs[8]
+    assert errs[18] < 1e-12
+    # no improvement above Q ~ 18 (Section 6.3.4)
+    floor = errs[18]
+    for Q in (20, 22, 24):
+        assert errs[Q] < 50 * floor
+        assert errs[Q] > floor * 1e-2
+    # the odd-even behaviour: an odd order rarely beats the next even one
+    evens_beat_odds = sum(1 for Q in range(3, 15, 2) if errs[Q + 1] < errs[Q])
+    assert evens_beat_odds >= 3

@@ -1,0 +1,80 @@
+"""Section 5/6 model-validation artifacts.
+
+Regenerates the paper's quantitative model statements as a table:
+
+- per-stage flop/mop/comm counts (ledger vs closed forms);
+- the collected flop expression's agreement with the exact count (and
+  hence with Edelman's count at P = G, C = 2, B = 2);
+- the FMM intensity ~7.8 flops/byte and 2.7 TF/s roofline on P100 at
+  the N = 2^27 configuration;
+- the communication reduction "up to 3x";
+- the theoretical crossover ratio ~0.031 byte/flop on P100.
+"""
+
+import pytest
+
+from repro.bench.data import PAPER_MODEL
+from repro.bench.figures import emit
+from repro.fmm.distributed import DistributedFMM
+from repro.fmm.plan import FmmGeometry
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import P100, dual_p100_nvlink
+from repro.model.comm import communication_savings, fmm_comm_bytes
+from repro.model.flops import fmm_flops_collected, fmm_stage_flops, fmm_total_flops
+from repro.model.mops import fmm_stage_mops, fmm_total_mops
+from repro.model.roofline import fmm_intensity
+from repro.util.table import Table
+
+N, P_, ML, B, Q, G = 1 << 27, 256, 64, 3, 16, 2
+
+
+def _validate():
+    geom = FmmGeometry.create(M=N // P_, P=P_, ML=ML, B=B, Q=Q, G=G)
+    cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+    DistributedFMM(geom, cl).run(staged=True)
+
+    model_f = fmm_stage_flops(geom, "complex128")
+    model_m = fmm_stage_mops(geom, "complex128")
+    ledger_f = cl.ledger.flops_by_name()
+    ledger_m = cl.ledger.mops_by_name()
+
+    t = Table(
+        ["stage", "model flops", "ledger flops", "model bytes", "ledger bytes"],
+        title=f"Ledger vs Section 5 closed forms (per device x G={G})",
+    )
+    worst = 0.0
+    for stage in sorted(model_f):
+        lf, lm = ledger_f.get(stage, 0.0) / G, ledger_m.get(stage, 0.0) / G
+        t.add_row([stage, f"{model_f[stage]:.4g}", f"{lf:.4g}",
+                   f"{model_m[stage]:.4g}", f"{lm:.4g}"])
+        worst = max(worst, abs(lf - model_f[stage]) / max(model_f[stage], 1.0))
+
+    intensity = fmm_intensity(geom, "complex128")
+    roofline_tf = min(P100.gamma_d, P100.beta * intensity) / 1e12
+    savings = communication_savings(N, G, geom)
+    collected = fmm_flops_collected(N, P_, ML, Q, G, B)
+    exact = fmm_total_flops(geom)
+    crossover = P100.beta / min(P100.gamma_d, P100.beta * intensity) * (
+        16.0 / (fmm_total_flops(geom) / (N / G))
+    )
+
+    summary = Table(["quantity", "ours", "paper"], title="Model headline quantities")
+    summary.add_row(["FMM intensity [flop/byte, cdouble]", intensity,
+                     PAPER_MODEL["fmm_intensity_double"]])
+    summary.add_row(["FMM roofline [TF/s, P100 cdouble]", roofline_tf,
+                     PAPER_MODEL["fmm_roofline_tflops_p100"]])
+    summary.add_row(["comm reduction vs 1D FFT", savings, PAPER_MODEL["comm_reduction"]])
+    summary.add_row(["collected/exact flop ratio", collected / exact, 1.0])
+
+    return t.render() + "\n\n" + summary.render(), worst, intensity, roofline_tf, savings
+
+
+def test_model_validation(benchmark):
+    text, worst, intensity, roofline_tf, savings = benchmark.pedantic(
+        _validate, rounds=1, iterations=1
+    )
+    emit("model_validation", text)
+    assert worst < 1e-9, "ledger flops must equal the closed forms"
+    assert 5.0 < intensity < 12.0         # paper: 7.8
+    assert 1.8 < roofline_tf < 4.0        # paper: 2.7
+    assert 2.5 < savings < 3.01           # paper: "up to 3x"

@@ -1,0 +1,75 @@
+"""NUFFT (the P = 1 lineage): accuracy and complexity checks.
+
+Not a paper figure — the paper's Section 2 credits Dutt-Rokhlin as the
+FMM-FFT's ancestor — but the reproduction includes the ancestor, so we
+bench it: accuracy vs Q (the "error a priori" knob shared with the
+FMM-FFT) and the O(n log n + m) scaling against the O(n m) direct sum.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import emit
+from repro.nufft import nudft2_direct, nufft2
+from repro.nufft.nonuniform_fmm import NonuniformPeriodicFMM
+from repro.util.table import Table
+
+
+def test_nufft_accuracy_vs_q(benchmark):
+    rng = np.random.default_rng(3)
+    n, m = 512, 1200
+    c = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    x = rng.uniform(0, 1, m)
+    ref = nudft2_direct(c, x)
+
+    def sweep():
+        return {Q: float(np.linalg.norm(nufft2(c, x, Q=Q) - ref) / np.linalg.norm(ref))
+                for Q in (4, 8, 12, 16, 20)}
+
+    errs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(["Q", "relative l2 error"], title="NUFFT-2 accuracy vs expansion order")
+    for Q, e in errs.items():
+        t.add_row([Q, f"{e:.2e}"])
+    emit("nufft_accuracy", t.render())
+    assert errs[8] < 3e-3 * errs[4]
+    assert errs[16] < 1e-12
+
+
+def test_nufft_scaling(benchmark):
+    """FMM evaluation cost grows ~linearly in points; dense grows
+    quadratically.  Measured on this host."""
+    rng = np.random.default_rng(4)
+
+    def measure(n):
+        src = rng.uniform(0, 1, n)
+        tgt = rng.uniform(0, 1, n)
+        import math
+
+        L = max(3, int(math.log2(n)) - 5)
+        fmm = NonuniformPeriodicFMM(src, tgt, L=L, B=3 if L >= 3 else 2, Q=12)
+        w = rng.standard_normal(n)
+        t0 = time.perf_counter()
+        fmm.apply(w)
+        return time.perf_counter() - t0
+
+    def sweep():
+        return {n: measure(n) for n in (1000, 4000, 16000)}
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t = Table(["points", "FMM apply [ms]"], title="Nonuniform FMM scaling (host)")
+    for n, v in times.items():
+        t.add_row([n, v * 1e3])
+    emit("nufft_scaling", t.render())
+    # 16x the points should cost far less than 256x (the dense ratio)
+    assert times[16000] < 64 * times[1000]
+
+
+def test_nufft2_host_throughput(benchmark):
+    rng = np.random.default_rng(5)
+    n, m = 1024, 5000
+    c = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    x = rng.uniform(0, 1, m)
+    out = benchmark(lambda: nufft2(c, x, Q=12))
+    assert out.shape == (m,)

@@ -1,0 +1,70 @@
+"""Spectral solution of the 1D periodic Poisson equation via the FMM-FFT.
+
+    -u''(x) = f(x)  on [0, 1) periodic,  with zero-mean f
+
+The classic FFT application: transform f, divide by (2 pi k)^2, invert.
+The forward transform here is the FMM-FFT; the inverse uses the
+conjugation identity ifft(X) = conj(fmmfft(conj(X))) / N, so the whole
+solve exercises only this library's transform.
+
+We manufacture a solution u*(x) = sin(2 pi x) + 0.3 cos(8 pi x) +
+a narrow periodic Gaussian, take f = -u*'' spectrally, solve, and report
+the max error against u*.
+"""
+
+import numpy as np
+
+from repro.core.plan import FmmFftPlan
+from repro.core.single import fmmfft_single
+
+
+def fmm_ifft(X: np.ndarray, plan: FmmFftPlan) -> np.ndarray:
+    """Inverse transform via conjugation through the forward FMM-FFT."""
+    return np.conj(fmmfft_single(np.conj(X), plan)) / plan.N
+
+
+def solve_poisson(f: np.ndarray, plan: FmmFftPlan) -> np.ndarray:
+    """Solve -u'' = f with periodic BCs and zero-mean u."""
+    N = plan.N
+    F = fmmfft_single(f.astype(np.complex128), plan)
+    k = np.fft.fftfreq(N, d=1.0 / N)  # integer wavenumbers
+    lam = (2.0 * np.pi * k) ** 2
+    U = np.zeros_like(F)
+    nz = lam != 0
+    U[nz] = F[nz] / lam[nz]
+    return fmm_ifft(U, plan).real
+
+
+def main() -> None:
+    N = 1 << 13
+    plan = FmmFftPlan.create(N=N, P=32, ML=32, B=3, Q=16)
+    x = np.arange(N) / N
+
+    u_star = (
+        np.sin(2 * np.pi * x)
+        + 0.3 * np.cos(8 * np.pi * x)
+        + np.exp(-0.5 * ((x - 0.5) / 0.02) ** 2)
+    )
+    u_star -= u_star.mean()
+
+    # manufacture f = -u'' spectrally (exact for this band-limited-ish u)
+    k = np.fft.fftfreq(N, d=1.0 / N)
+    lam = (2.0 * np.pi * k) ** 2
+    f = np.fft.ifft(lam * np.fft.fft(u_star)).real
+
+    u = solve_poisson(f, plan)
+    err = np.abs(u - u_star).max()
+    print(f"Poisson solve on N=2^13 periodic grid via FMM-FFT")
+    print(f"  plan: {plan.describe()}")
+    print(f"  max |u - u*| = {err:.3e}")
+    assert err < 1e-10, "spectral Poisson solve should be exact to roundoff"
+
+    # residual check: -u'' vs f
+    U = np.fft.fft(u)
+    res = np.fft.ifft(lam * U).real - f
+    print(f"  max PDE residual = {np.abs(res).max():.3e}")
+    print("  OK")
+
+
+if __name__ == "__main__":
+    main()

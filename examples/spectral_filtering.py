@@ -1,0 +1,55 @@
+"""Spectral denoising with the FMM-FFT: recover tones buried in noise.
+
+A synthetic "sensor capture": three known-amplitude tones plus strong
+white noise.  We transform with the FMM-FFT, keep only bins whose power
+exceeds a threshold, invert, and measure how much of each tone survives
+— the bread-and-butter FFT workload the paper's introduction motivates
+(large 1D transforms on accelerator nodes).
+"""
+
+import numpy as np
+
+from repro.core.plan import FmmFftPlan
+from repro.core.single import fmmfft_single
+
+
+def main() -> None:
+    N = 1 << 14
+    rng = np.random.default_rng(7)
+    t = np.arange(N) / N
+
+    tones = [(200, 1.0), (1723, 0.6), (5001, 0.35)]
+    clean = sum(a * np.exp(2j * np.pi * k * t) for k, a in tones)
+    noise = 0.8 * (rng.standard_normal(N) + 1j * rng.standard_normal(N))
+    x = clean + noise
+    snr_in = 10 * np.log10(np.mean(np.abs(clean) ** 2) / np.mean(np.abs(noise) ** 2))
+
+    plan = FmmFftPlan.create(N=N, P=64, ML=32, B=3, Q=16)
+    X = fmmfft_single(x, plan)
+
+    # threshold: keep bins 6x above the median magnitude
+    mag = np.abs(X)
+    keep = mag > 6.0 * np.median(mag)
+    X_filt = np.where(keep, X, 0.0)
+    y = np.conj(fmmfft_single(np.conj(X_filt), plan)) / N
+
+    resid = y - clean
+    snr_out = 10 * np.log10(
+        np.mean(np.abs(clean) ** 2) / max(np.mean(np.abs(resid) ** 2), 1e-30)
+    )
+
+    print(f"Spectral denoise, N=2^14, {len(tones)} tones in white noise")
+    print(f"  plan: {plan.describe()}")
+    print(f"  kept {keep.sum()} of {N} bins")
+    print(f"  input SNR {snr_in:5.1f} dB -> output SNR {snr_out:5.1f} dB")
+    for k, a in tones:
+        rec = abs(X_filt[k]) / N
+        print(f"  tone k={k:5d}: true amplitude {a:.3f}, recovered {rec:.3f}")
+        assert keep[k], "every injected tone must survive the threshold"
+        assert abs(rec - a) < 0.1
+    assert snr_out > snr_in + 10, "filtering should win >10 dB"
+    print("  OK")
+
+
+if __name__ == "__main__":
+    main()

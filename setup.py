@@ -1,0 +1,7 @@
+"""Compatibility shim: lets ``pip install -e .`` work on environments
+whose pip/setuptools cannot build PEP-660 editable wheels (no `wheel`
+package, offline).  Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

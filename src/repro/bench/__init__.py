@@ -1,0 +1,13 @@
+"""Benchmark-harness support: shared runners, emitters, and the paper's
+reported numbers for side-by-side comparison.
+
+The actual benchmark targets live in ``benchmarks/`` (one per paper
+figure); this package holds the reusable machinery so each target reads
+like the experiment it reproduces.
+"""
+
+from repro.bench.figures import emit, fastest_config_sweep, out_dir
+from repro.bench.report import build_report, write_report
+from repro.bench import data
+
+__all__ = ["build_report", "data", "emit", "fastest_config_sweep", "out_dir", "write_report"]

@@ -1,0 +1,67 @@
+"""The paper's reported results, transcribed for side-by-side output.
+
+Figure 3 prints the measured speedup above every bar; those numbers are
+recorded here so every benchmark table can show paper-vs-reproduction in
+one view.  Keys are log2(N).
+"""
+
+#: Figure 3 speedups over 1D cuFFTXT, by system and precision.
+PAPER_FIG3 = {
+    ("2xK40c", "complex64"): {
+        12: 1.66, 13: 1.71, 14: 1.73, 15: 1.89, 16: 1.82, 17: 1.70, 18: 1.79,
+        19: 1.51, 20: 1.13, 21: 0.99, 22: 1.01, 23: 1.04, 24: 1.03, 25: 1.04,
+        26: 1.05, 27: 1.04,
+    },
+    ("2xK40c", "complex128"): {
+        12: 1.69, 13: 1.69, 14: 1.68, 15: 1.72, 16: 1.49, 17: 1.47, 18: 1.20,
+        19: 1.00, 20: 0.91, 21: 1.00, 22: 1.02, 23: 1.04, 24: 1.04, 25: 1.06,
+        26: 1.05, 27: 1.05,
+    },
+    ("2xP100", "complex64"): {
+        12: 1.20, 13: 1.43, 14: 1.32, 15: 1.67, 16: 1.62, 17: 1.63, 18: 1.57,
+        19: 1.42, 20: 1.50, 21: 1.52, 22: 1.23, 23: 1.20, 24: 1.22, 25: 1.25,
+        26: 1.24, 27: 1.29, 28: 1.29,
+    },
+    ("2xP100", "complex128"): {
+        12: 1.15, 13: 1.26, 14: 1.40, 15: 1.51, 16: 1.47, 17: 1.43, 18: 1.48,
+        19: 1.43, 20: 1.26, 21: 1.09, 22: 1.17, 23: 1.21, 24: 1.25, 25: 1.26,
+        26: 1.30, 27: 1.29,
+    },
+    ("8xP100", "complex64"): {
+        14: 1.44, 15: 1.79, 16: 1.92, 17: 1.94, 18: 1.85, 19: 1.83, 20: 1.97,
+        21: 1.87, 22: 1.82, 23: 1.83, 24: 1.80, 25: 1.63, 26: 1.68, 27: 1.86,
+        28: 1.99, 29: 2.09,
+    },
+    ("8xP100", "complex128"): {
+        14: 1.78, 15: 1.91, 16: 1.86, 17: 1.82, 18: 1.95, 19: 1.88, 20: 1.76,
+        21: 1.75, 22: 1.64, 23: 1.68, 24: 1.57, 25: 1.66, 26: 1.89, 27: 2.04,
+        28: 2.14,
+    },
+}
+
+#: Figure 2's headline configuration and claims.
+PAPER_FIG2 = dict(
+    N=1 << 27,
+    P=256,
+    ML=64,
+    B=3,
+    Q=16,
+    G=2,
+    dtype="complex128",
+    fmm_count=255,          # "255 FMMs of size 524k x 524k"
+    fmm_size=524288,
+    fmm_time_ms=32.0,       # "computed in 32ms"
+    kernel_launches=35,     # "with 35 kernel launches"
+)
+
+#: Section 6.1 accuracy claims (relative l2).
+PAPER_ACCURACY = dict(single_complex=4e-7, double_complex=2e-14)
+
+#: Section 6 quotes used by the model-validation bench.
+PAPER_MODEL = dict(
+    fmm_intensity_double=7.8,       # flops/byte at the large-N config
+    fmm_roofline_tflops_p100=2.7,   # peak practical double on P100
+    crossover_byte_per_flop=0.031,  # theoretical crossover on P100
+    comm_reduction=3.0,             # "by up to 3x"
+    fmmfft_efficiency=0.9,          # "approximately 90% of its peak"
+)

@@ -1,0 +1,52 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Each benchmark prints its table/chart to stdout *and* appends it to
+``benchmarks/out/<fig>.txt`` so EXPERIMENTS.md can quote the artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.machine.spec import ClusterSpec
+from repro.model.search import find_fastest, search_grid
+
+
+def out_dir() -> Path:
+    """Directory for benchmark artifacts (created on demand)."""
+    base = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parents[3] / "benchmarks" / "out"))
+    base.mkdir(parents=True, exist_ok=True)
+    return base
+
+
+def emit(fig_id: str, text: str) -> str:
+    """Print a figure artifact and persist it under benchmarks/out/."""
+    banner = f"\n=== {fig_id} ===\n"
+    payload = banner + text + "\n"
+    print(payload)
+    path = out_dir() / f"{fig_id}.txt"
+    path.write_text(payload)
+    return payload
+
+
+def fastest_config_sweep(
+    spec: ClusterSpec,
+    log2_ns: list[int],
+    dtype: str = "complex128",
+) -> dict[int, dict]:
+    """Run the Figure 3 per-N parameter search over a range of sizes.
+
+    Returns ``{log2N: {"speedup", "fmmfft_time", "baseline_time",
+    "params"}}``.
+    """
+    out: dict[int, dict] = {}
+    for q in log2_ns:
+        r = find_fastest(1 << q, spec, dtype=dtype)
+        out[q] = dict(
+            speedup=r.speedup,
+            fmmfft_time=r.fmmfft_time,
+            baseline_time=r.baseline_time,
+            params=r.params,
+        )
+    return out

@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    List the simulated testbeds and their interconnect characteristics.
+``transform``
+    FMM-FFT a synthetic signal and report the error vs the exact FFT.
+``search``
+    Find the fastest (P, M_L, B, Q) for one size on one system.
+``speedup``
+    The Figure 3 sweep for one system/precision as a table.
+``profile``
+    Render the Figure-2-style simulated timeline for a configuration.
+``model``
+    Section 5 model breakdown (per-stage roofline) for a configuration.
+``energy``
+    Energy projection of FMM-FFT vs the 1D baseline on one system.
+``multinode``
+    The Section 7 multi-node projection table.
+``tune``
+    Build/extend a JSON tuning-wisdom file over a range of sizes.
+``trace``
+    Export a chrome://tracing JSON of a simulated run.
+``report``
+    Stitch the benchmark artifacts into one markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.distributed import FmmFftDistributed
+from repro.core.plan import FmmFftPlan
+from repro.core.single import fmmfft_relative_error
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import preset, _PRESETS
+from repro.model.error import choose_q
+from repro.model.search import find_fastest
+from repro.util.prng import random_signal
+from repro.util.table import Table, format_time
+
+
+def _parse_size(s: str) -> int:
+    """Accept plain ints or '2^k' / '2**k' forms."""
+    s = s.strip()
+    for sep in ("^", "**"):
+        if sep in s:
+            base, exp = s.split(sep)
+            return int(base) ** int(exp)
+    return int(s)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """List the simulated testbeds."""
+    t = Table(["system", "G", "P2P [GB/s]", "all-to-all inj [GB/s]", "collective ovh [us]"],
+              title="Simulated testbeds")
+    for name in sorted(_PRESETS):
+        spec = preset(name)
+        t.add_row([
+            spec.name, spec.num_devices,
+            spec.pair_bandwidth(0, 1) / 1e9,
+            spec.alltoall_bandwidth() / 1e9,
+            spec.collective_overhead * 1e6,
+        ])
+    print(t.render())
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    """FMM-FFT a synthetic signal; exit 1 if tolerance missed."""
+    N = _parse_size(args.n)
+    Q = args.q if args.q else choose_q(args.tolerance, args.dtype)
+    x = random_signal(N, args.dtype, seed=args.seed)
+    plan_kw = {}
+    if args.p:
+        plan_kw["P"] = args.p
+    from repro.core.api import default_params
+
+    d = default_params(N)
+    d.update(plan_kw)
+    d["Q"] = Q
+    plan = FmmFftPlan.create(N=N, dtype=args.dtype, **d)
+    err = fmmfft_relative_error(x, plan)
+    print(f"plan: {plan.describe()}")
+    print(f"relative l2 error vs exact FFT: {err:.3e} "
+          f"(target {args.tolerance:g}, chosen Q={Q})")
+    return 0 if err <= args.tolerance else 1
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Find the fastest parameters for one size/system."""
+    N = _parse_size(args.n)
+    spec = preset(args.system)
+    r = find_fastest(N, spec, dtype=args.dtype)
+    p = r.params
+    print(f"N={N} on {spec.name} ({args.dtype}):")
+    print(f"  fastest: P={p['P']}, ML={p['ML']}, B={p['B']}, Q={p['Q']}")
+    print(f"  FMM-FFT {format_time(r.fmmfft_time)}  "
+          f"1D FFT {format_time(r.baseline_time)}  speedup {r.speedup:.2f}x")
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    """Figure-3-style speedup sweep for one system."""
+    spec = preset(args.system)
+    t = Table(["log2N", "FMM-FFT", "1D FFT", "speedup"],
+              title=f"Speedup sweep, {spec.name}, {args.dtype}")
+    for q in range(args.min, args.max + 1):
+        r = find_fastest(1 << q, spec, dtype=args.dtype)
+        t.add_row([q, format_time(r.fmmfft_time), format_time(r.baseline_time),
+                   f"{r.speedup:.2f}"])
+    print(t.render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Render the simulated timeline for a configuration."""
+    N = _parse_size(args.n)
+    spec = preset(args.system)
+    if args.baseline:
+        cl = VirtualCluster(spec, execute=False)
+        Distributed1DFFT(N, cl, dtype=args.dtype).run()
+    else:
+        r = find_fastest(N, spec, dtype=args.dtype)
+        plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
+                                 build_operators=False, **r.params)
+        cl = VirtualCluster(spec, execute=False)
+        FmmFftDistributed(plan, cl).run()
+        print(f"params: {r.params}")
+    print(cl.trace().render_profile(width=args.width))
+    print()
+    print(cl.trace().stage_summary().render())
+    return 0
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    """Print the Section 5 model breakdown."""
+    from repro.model.report import render_model_report
+
+    N = _parse_size(args.n)
+    spec = preset(args.system)
+    r = find_fastest(N, spec, dtype=args.dtype)
+    plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
+                             build_operators=False, **r.params)
+    print(render_model_report(plan.geometry, spec, args.dtype))
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    """Energy projection of FMM-FFT vs the baseline."""
+    from repro.model.energy import energy_ratio, run_energy
+
+    N = _parse_size(args.n)
+    spec = preset(args.system)
+    cl_b = VirtualCluster(spec, execute=False)
+    Distributed1DFFT(N, cl_b, dtype=args.dtype).run()
+    e_b = run_energy(cl_b)
+    r = find_fastest(N, spec, dtype=args.dtype)
+    plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
+                             build_operators=False, **r.params)
+    cl_f = VirtualCluster(spec, execute=False)
+    FmmFftDistributed(plan, cl_f).run()
+    e_f = run_energy(cl_f)
+    t = Table(["pipeline", "compute [J]", "memory [J]", "comm [J]", "idle [J]", "total [J]"],
+              title=f"Energy projection, N={N} on {spec.name}")
+    for label, e in (("1D FFT", e_b), ("FMM-FFT", e_f)):
+        t.add_row([label, e.compute, e.memory, e.communication, e.idle, e.total])
+    print(t.render())
+    print(f"energy ratio (baseline/FMM-FFT): {energy_ratio(e_b, e_f):.2f}x")
+    return 0
+
+
+def cmd_multinode(args: argparse.Namespace) -> int:
+    """Multi-node projection table."""
+    from repro.machine.multinode import multinode_p100
+
+    N = _parse_size(args.n)
+    t = Table(["nodes", "G", "FMM-FFT", "1D FFT", "speedup"],
+              title=f"Multi-node projection, N={N} ({args.dtype})")
+    for nodes in (1, 2, 4, 8):
+        spec = multinode_p100(nodes, gpus_per_node=args.gpus_per_node)
+        r = find_fastest(N, spec, dtype=args.dtype)
+        t.add_row([nodes, spec.num_devices, format_time(r.fmmfft_time),
+                   format_time(r.baseline_time), f"{r.speedup:.2f}"])
+    print(t.render())
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Build or extend a tuning-wisdom JSON file."""
+    from pathlib import Path
+
+    from repro.model.tuning import TuningCache, tuned_params
+
+    spec = preset(args.system)
+    path = Path(args.wisdom)
+    cache = TuningCache.load(path) if path.exists() else TuningCache()
+    for q in range(args.min, args.max + 1):
+        p = tuned_params(1 << q, spec, dtype=args.dtype, cache=cache)
+        print(f"N=2^{q}: {p}")
+    cache.save(path)
+    print(f"wisdom saved to {path} ({len(cache)} entries)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export a chrome://tracing JSON of a simulated run."""
+    N = _parse_size(args.n)
+    spec = preset(args.system)
+    r = find_fastest(N, spec, dtype=args.dtype)
+    plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
+                             build_operators=False, **r.params)
+    cl = VirtualCluster(spec, execute=False)
+    FmmFftDistributed(plan, cl).run()
+    cl.trace().save_chrome_trace(args.out)
+    print(f"wrote {len(cl.ledger)} events to {args.out} "
+          f"(load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate benchmark artifacts into one markdown report."""
+    from repro.bench.report import write_report
+
+    out = write_report(args.out)
+    print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list simulated testbeds").set_defaults(fn=cmd_info)
+
+    tr = sub.add_parser("transform", help="FMM-FFT a synthetic signal")
+    tr.add_argument("--n", default="2^14", help="size (e.g. 4096 or 2^20)")
+    tr.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    tr.add_argument("--tolerance", type=float, default=1e-12)
+    tr.add_argument("--q", type=int, default=0, help="override expansion order")
+    tr.add_argument("--p", type=int, default=0, help="override P")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.set_defaults(fn=cmd_transform)
+
+    se = sub.add_parser("search", help="find the fastest parameters")
+    se.add_argument("--n", default="2^24")
+    se.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    se.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    se.set_defaults(fn=cmd_search)
+
+    sp = sub.add_parser("speedup", help="Figure-3-style sweep")
+    sp.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    sp.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    sp.add_argument("--min", type=int, default=14)
+    sp.add_argument("--max", type=int, default=24)
+    sp.set_defaults(fn=cmd_speedup)
+
+    pr = sub.add_parser("profile", help="Figure-2-style timeline")
+    pr.add_argument("--n", default="2^24")
+    pr.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    pr.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    pr.add_argument("--baseline", action="store_true",
+                    help="profile the six-step 1D FFT instead")
+    pr.add_argument("--width", type=int, default=100)
+    pr.set_defaults(fn=cmd_profile)
+
+    mo = sub.add_parser("model", help="Section 5 model breakdown")
+    mo.add_argument("--n", default="2^24")
+    mo.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    mo.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    mo.set_defaults(fn=cmd_model)
+
+    en = sub.add_parser("energy", help="energy projection")
+    en.add_argument("--n", default="2^24")
+    en.add_argument("--system", default="8xP100", choices=sorted(_PRESETS))
+    en.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    en.set_defaults(fn=cmd_energy)
+
+    mn = sub.add_parser("multinode", help="multi-node projection")
+    mn.add_argument("--n", default="2^24")
+    mn.add_argument("--gpus-per-node", type=int, default=4)
+    mn.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    mn.set_defaults(fn=cmd_multinode)
+
+    tu = sub.add_parser("tune", help="build a tuning-wisdom file")
+    tu.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    tu.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    tu.add_argument("--min", type=int, default=14)
+    tu.add_argument("--max", type=int, default=20)
+    tu.add_argument("--wisdom", default="wisdom.json")
+    tu.set_defaults(fn=cmd_tune)
+
+    tc = sub.add_parser("trace", help="export a chrome://tracing JSON")
+    tc.add_argument("--n", default="2^24")
+    tc.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    tc.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    tc.add_argument("--out", default="trace.json")
+    tc.set_defaults(fn=cmd_trace)
+
+    rp = sub.add_parser("report", help="aggregate benchmark artifacts")
+    rp.add_argument("--out", default="REPORT.md")
+    rp.set_defaults(fn=cmd_report)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

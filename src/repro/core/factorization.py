@@ -1,0 +1,106 @@
+"""Fourier-matrix factorizations and permutation operators (Section 3).
+
+The block-to-cyclic permutation ``Pi_{M,P}`` acts on unit vectors as
+``Pi e_{p + m P} = e_{m + p M}``; on data, ``(Pi x)[m + p M] = x[p + m P]``,
+i.e. the reshape-transpose ``x.reshape(M, P).T.ravel()``.
+
+Two factorizations of ``F_N`` (N = M P) are provided densely for
+validation:
+
+- the radix-P split used by all standard distributed 1D FFTs::
+
+      F_N = Pi_{M,P} (I_M x F_P) Pi_{P,M} T_{P,M} (I_P x F_M) Pi_{M,P}
+
+- the FMM-FFT factorization (Edelman et al.)::
+
+      F_N = (I_P x F_M) Pi_{M,P} (I_M x F_P) Pi_{P,M} H_{P,M} Pi_{M,P}
+
+Both are verified to machine precision in the test suite for many
+(M, P), including non-powers of two — the index-convention ground truth
+for the whole library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import dense_h_matrix
+from repro.util.validation import ParameterError, check_positive
+
+
+def fourier_matrix(N: int) -> np.ndarray:
+    """The N x N DFT matrix ``[F_N]_{jk} = exp(-2 pi i j k / N)``."""
+    check_positive("N", N)
+    j = np.arange(N)
+    return np.exp(-2j * np.pi * np.outer(j, j) / N)
+
+
+def perm_block_to_cyclic(M: int, P: int) -> np.ndarray:
+    """Index map ``idx`` with ``(Pi_{M,P} x) = x[idx]``.
+
+    ``(Pi x)[m + p M] = x[p + m P]``: position ``m + p M`` reads source
+    ``p + m P``.
+    """
+    check_positive("M", M)
+    check_positive("P", P)
+    out = np.empty(M * P, dtype=np.intp)
+    for p in range(P):
+        for m in range(M):
+            out[m + p * M] = p + m * P
+    return out
+
+
+def apply_perm_mp(x: np.ndarray, M: int, P: int) -> np.ndarray:
+    """Apply ``Pi_{M,P}`` to the last axis of ``x`` (vectorized form)."""
+    x = np.asarray(x)
+    if x.shape[-1] != M * P:
+        raise ParameterError(f"last axis must be {M * P}, got {x.shape[-1]}")
+    lead = x.shape[:-1]
+    return np.swapaxes(x.reshape(*lead, M, P), -1, -2).reshape(*lead, M * P)
+
+
+def perm_matrix(M: int, P: int) -> np.ndarray:
+    """``Pi_{M,P}`` as a dense 0/1 matrix (tests and tiny N only)."""
+    N = M * P
+    Pi = np.zeros((N, N))
+    Pi[np.arange(N), perm_block_to_cyclic(M, P)] = 1.0
+    return Pi
+
+
+def twiddle_matrix(M: int, P: int) -> np.ndarray:
+    """The diagonal ``T_{P,M}``: entry ``omega_N^((i mod M) * floor(i/M))``."""
+    N = M * P
+    i = np.arange(N)
+    return np.diag(np.exp(-2j * np.pi * ((i % M) * (i // M)) / N))
+
+
+def radix_split_dense(M: int, P: int) -> np.ndarray:
+    """Evaluate the radix-P split factorization densely (should == F_N)."""
+    I_M, I_P = np.eye(M), np.eye(P)
+    return (
+        perm_matrix(M, P)
+        @ np.kron(I_M, fourier_matrix(P))
+        @ perm_matrix(P, M)
+        @ twiddle_matrix(M, P)
+        @ np.kron(I_P, fourier_matrix(M))
+        @ perm_matrix(M, P)
+    )
+
+
+def fmmfft_dense(M: int, P: int) -> np.ndarray:
+    """Evaluate the FMM-FFT factorization densely (should == F_N)."""
+    I_M, I_P = np.eye(M), np.eye(P)
+    return (
+        np.kron(I_P, fourier_matrix(M))
+        @ perm_matrix(M, P)
+        @ np.kron(I_M, fourier_matrix(P))
+        @ perm_matrix(P, M)
+        @ dense_h_matrix(M, P)
+        @ perm_matrix(M, P)
+    )
+
+
+def hhat_dense(M: int, P: int) -> np.ndarray:
+    """``H^_{M,P} = Pi_{P,M} H_{P,M} Pi_{M,P}`` — the interleaved kernels
+    acting directly on the natural (p-major) layout."""
+    return perm_matrix(P, M) @ dense_h_matrix(M, P) @ perm_matrix(M, P)

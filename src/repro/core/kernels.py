@@ -1,0 +1,57 @@
+"""The FMM-FFT's cotangent kernels (Section 3).
+
+``H_{P,M} = diag(I_M, C_1, ..., C_{P-1})`` with
+
+    [C_p]_{mn} = rho_p [ cot(pi/M (n - m) + pi/N p) + i ]
+    rho_p      = exp(-i pi p / P) sin(pi p / P) / M
+
+Each ``C_p`` is what one periodic 1D FMM applies (approximately); the
+``+ i`` rank-one part becomes the REDUCE stage and the ``rho_p`` scaling
+the POST stage.  The dense builders here are oracles for tests and tiny
+problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm.operators import rho_factors
+from repro.fmm.reference import dense_kernel_matrix
+from repro.util.validation import ParameterError
+
+
+def dense_c_matrix(M: int, P: int, p: int) -> np.ndarray:
+    """The full complex ``C_p`` (identity for p = 0)."""
+    return dense_kernel_matrix(M, P, p, with_rho=True)
+
+
+def dense_h_matrix(M: int, P: int) -> np.ndarray:
+    """``H_{P,M}``: block diagonal of I_M and the C_p (size N x N)."""
+    N = M * P
+    H = np.zeros((N, N), dtype=np.complex128)
+    for p in range(P):
+        H[p * M : (p + 1) * M, p * M : (p + 1) * M] = dense_c_matrix(M, P, p)
+    return H
+
+
+def post_process(T: np.ndarray, r: np.ndarray, M: int, P: int) -> np.ndarray:
+    """Algorithm 1 line 15: ``T_p <- rho_p (T_p + i r_p)`` for p >= 1.
+
+    Parameters
+    ----------
+    T:
+        (P, M) array: row 0 is the p = 0 passthrough, rows 1.. are the
+        FMM outputs (the cotangent part).
+    r:
+        (P-1,) reduction vector ``r[p-1] = sum_m S[p, m]``.
+    """
+    T = np.asarray(T)
+    r = np.asarray(r)
+    if T.shape[0] != P or r.shape != (P - 1,):
+        raise ParameterError(
+            f"shape mismatch: T {T.shape}, r {r.shape} for P={P}"
+        )
+    rho = rho_factors(P, M)
+    out = np.array(T, dtype=np.result_type(T.dtype, np.complex64))
+    out[1:] = rho[:, None] * (T[1:] + 1j * r[:, None])
+    return out

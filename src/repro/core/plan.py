@@ -1,0 +1,170 @@
+"""FMM-FFT plan: parameter validation and operator precomputation.
+
+The admissible parameter space (Table 1 and Sections 3-4):
+
+- ``N = M * P`` with ``P >= 2`` (there are P-1 FMMs);
+- ``M = M_L * 2^L`` with leaf size ``M_L >= 1``;
+- ``L >= B >= 2`` (base level; B = L means no hierarchical levels —
+  the latency-minimizing small-N configuration);
+- ``Q >= 2`` expansion order;
+- ``G | 2^B`` and ``G | P`` so every device owns whole boxes at every
+  level and the 2D FFT layouts partition evenly.
+
+The plan owns the :class:`~repro.fmm.plan.FmmOperators` bundle and the
+complex working dtype; executors are stateless over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fmm.plan import FmmGeometry, FmmOperators
+from repro.util.bitmath import ilog2, is_pow2
+from repro.util.validation import (
+    ParameterError,
+    check_dtype,
+    check_multiple,
+    check_positive,
+    check_pow2,
+    check_range,
+    complex_dtype_for,
+    c_factor,
+)
+
+
+@dataclass(frozen=True)
+class FmmFftPlan:
+    """A validated, operator-ready FMM-FFT configuration.
+
+    Construct via :meth:`create` (which derives M and L and builds
+    operators) rather than directly.
+
+    Attributes
+    ----------
+    N, M, P:
+        Transform size and its FMM/FFT split, N = M * P.
+    ML, L, B, Q:
+        Leaf size, leaf level, base level, expansion order.
+    G:
+        Device count the plan is laid out for.
+    dtype:
+        Complex working dtype.
+    operators:
+        The precomputed FMM operator bundle.
+    """
+
+    N: int
+    M: int
+    P: int
+    ML: int
+    L: int
+    B: int
+    Q: int
+    G: int
+    dtype: np.dtype
+    operators: FmmOperators = field(repr=False)
+
+    @classmethod
+    def create(
+        cls,
+        N: int,
+        P: int,
+        ML: int,
+        B: int,
+        Q: int,
+        G: int = 1,
+        dtype="complex128",
+        build_operators: bool = True,
+    ) -> "FmmFftPlan":
+        """Validate parameters and build operators.
+
+        Raises :class:`~repro.util.validation.ParameterError` with a
+        named constraint on any violation.
+        """
+        check_positive("N", N)
+        check_range("P", P, 2, N // 2)
+        if N % P != 0:
+            raise ParameterError(f"P (={P}) must divide N (={N})")
+        M = N // P
+        check_pow2("M", M)
+        check_pow2("P", P)
+        check_pow2("ML", ML)
+        if ML > M:
+            raise ParameterError(f"ML={ML} cannot exceed M={M}")
+        L = ilog2(M // ML)
+        check_range("B", B, 2, L)
+        check_range("Q", Q, 2, None)
+        check_pow2("G", G)
+        check_multiple("2^B", 1 << B, G, "G")
+        check_multiple("P", P, G, "G")
+        dt = complex_dtype_for(check_dtype("dtype", dtype))
+        ops = (
+            FmmOperators.create(M=M, P=P, ML=ML, B=B, Q=Q, dtype=dt, G=G)
+            if build_operators
+            else None
+        )
+        return cls(N=N, M=M, P=P, ML=ML, L=L, B=B, Q=Q, G=G, dtype=np.dtype(dt),
+                   operators=ops)
+
+    @property
+    def C(self) -> int:
+        """The paper's C factor (2: all plans work in complex)."""
+        return c_factor(self.dtype)
+
+    @property
+    def geometry(self) -> FmmGeometry:
+        """Shape-only FMM description (valid even without operators)."""
+        if self.operators is not None:
+            return self.operators.geometry
+        return FmmGeometry.create(
+            M=self.M, P=self.P, ML=self.ML, B=self.B, Q=self.Q, G=self.G
+        )
+
+    def with_devices(self, G: int) -> "FmmFftPlan":
+        """Re-derive the plan for a different device count."""
+        return FmmFftPlan.create(
+            N=self.N, P=self.P, ML=self.ML, B=self.B, Q=self.Q, G=G,
+            dtype=self.dtype, build_operators=self.operators is not None,
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable parameter summary."""
+        return (
+            f"FMM-FFT N=2^{ilog2(self.N) if is_pow2(self.N) else self.N} "
+            f"(M={self.M}, P={self.P}), ML={self.ML}, L={self.L}, B={self.B}, "
+            f"Q={self.Q}, G={self.G}, {self.dtype.name}"
+        )
+
+
+def admissible_params(
+    N: int,
+    G: int = 1,
+    max_Q: int = 20,
+    min_Q: int = 4,
+) -> list[dict]:
+    """Enumerate the admissible (P, ML, B, Q) grid for a given N and G.
+
+    Used by the parameter search behind Figure 3 ("the fastest FMM-FFT
+    found by searching the parameter space").  The grid is pruned to the
+    paper's practically relevant region: P between 2G and N/(4 ML_min),
+    ML up to 512, B up to min(L, 6), Q in {8, 12, 16, 20}.
+    """
+    check_pow2("N", N)
+    out: list[dict] = []
+    qs = [q for q in (8, 12, 16, 20) if min_Q <= q <= max_Q]
+    P = max(2, 2 * G)
+    while P <= N // 4:
+        M = N // P
+        ML = 1
+        while ML <= min(M // 4, 512):
+            L = ilog2(M // ML)
+            for B in range(2, min(L, 6) + 1):
+                if (1 << B) % G != 0:
+                    continue
+                for Q in qs:
+                    out.append(dict(P=P, ML=ML, B=B, Q=Q))
+            ML *= 2
+        P *= 2
+    return out

@@ -1,0 +1,32 @@
+"""Distributed FFTs on the virtual cluster (the cuFFTXT substitute).
+
+Two pipelines, both built from :mod:`repro.fftcore` local transforms and
+:mod:`repro.machine` communication:
+
+- :class:`~repro.dfft.fft1d.Distributed1DFFT` — the industry-standard
+  in-order six-step radix-P split with **three** all-to-all transposes
+  (the paper's baseline, Section 3).  Transposes are chunk-pipelined
+  against local FFT compute, reproducing cuFFTXT's near-perfect overlap
+  (Figure 2 top) — and its communication-bound wall time.
+- :class:`~repro.dfft.fft2d.Distributed2DFFT` — the M x P 2D FFT with a
+  **single** all-to-all, plus cuFFT-style load callbacks used to fuse
+  the FMM-FFT's POST stage into the first FFT (Algorithm 1, lines
+  15-16).
+
+Both run real NumPy numerics in ``execute=True`` clusters and
+shape-determined timing in ``execute=False`` clusters.
+"""
+
+from repro.dfft.layout import BlockRows
+from repro.dfft.transpose import distributed_transpose
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.dfft.fft2d import Distributed2DFFT
+from repro.dfft.realfft import DistributedRealFFT
+
+__all__ = [
+    "BlockRows",
+    "Distributed1DFFT",
+    "Distributed2DFFT",
+    "DistributedRealFFT",
+    "distributed_transpose",
+]

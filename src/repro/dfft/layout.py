@@ -1,0 +1,84 @@
+"""Row-block layouts for distributed 2D views of 1D data.
+
+Every stage of the distributed FFTs views the length-N vector as a 2D
+array (``rows x cols``, C order) whose *rows* are block-partitioned over
+the G devices.  A transpose swaps which index is rows — that is the
+all-to-all.  :class:`BlockRows` captures one such view and the local
+shapes/sizes it implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import ParameterError, check_multiple, check_positive
+
+
+@dataclass(frozen=True)
+class BlockRows:
+    """A ``rows x cols`` matrix with rows block-partitioned over G devices.
+
+    Constraints: ``G | rows`` (every device owns an equal row block) and
+    ``G | cols`` (so the transposed layout is also an equal partition).
+    """
+
+    rows: int
+    cols: int
+    G: int
+
+    def __post_init__(self):
+        check_positive("rows", self.rows)
+        check_positive("cols", self.cols)
+        check_positive("G", self.G)
+        check_multiple("rows", self.rows, self.G, "G")
+        check_multiple("cols", self.cols, self.G, "G")
+
+    @property
+    def rows_local(self) -> int:
+        return self.rows // self.G
+
+    @property
+    def cols_local(self) -> int:
+        return self.cols // self.G
+
+    @property
+    def n(self) -> int:
+        """Total element count."""
+        return self.rows * self.cols
+
+    def row_range(self, g: int) -> tuple[int, int]:
+        """Global [start, stop) row indices owned by device g."""
+        if not 0 <= g < self.G:
+            raise ParameterError(f"device {g} out of range for G={self.G}")
+        r = self.rows_local
+        return (g * r, (g + 1) * r)
+
+    def local_shape(self, g: int = 0) -> tuple[int, int]:
+        """Shape of device g's local block (uniform across devices)."""
+        return (self.rows_local, self.cols)
+
+    def local_bytes(self, itemsize: int) -> int:
+        """Bytes of one device's local block."""
+        return self.rows_local * self.cols * itemsize
+
+    def transposed(self) -> "BlockRows":
+        """The layout after a full transpose (cols become rows)."""
+        return BlockRows(rows=self.cols, cols=self.rows, G=self.G)
+
+    def alltoall_bytes_sent(self, itemsize: int) -> float:
+        """Bytes each device sends during the transposing all-to-all."""
+        return self.local_bytes(itemsize) * (self.G - 1) / self.G
+
+    def scatter(self, x: np.ndarray) -> list[np.ndarray]:
+        """Split a global (rows, cols) array (or flat vector) into blocks."""
+        a = np.asarray(x).reshape(self.rows, self.cols)
+        r = self.rows_local
+        return [a[g * r : (g + 1) * r].copy() for g in range(self.G)]
+
+    def gather(self, blocks: list[np.ndarray]) -> np.ndarray:
+        """Reassemble the global (rows, cols) array from per-device blocks."""
+        if len(blocks) != self.G:
+            raise ParameterError(f"expected {self.G} blocks, got {len(blocks)}")
+        return np.vstack([np.asarray(b).reshape(self.rows_local, self.cols) for b in blocks])

@@ -1,0 +1,119 @@
+"""Distributed real-input 1D FFT (the C = 1 case, end to end).
+
+Section 5.1's ``C`` factor says real input costs half a complex
+transform.  At the distributed level the classic two-for-one trick
+realizes it:
+
+1. pack ``z[k] = x[2k] + i x[2k+1]`` — *local* on block-distributed
+   data (each device's contiguous chunk packs independently);
+2. one distributed **complex** FFT of length N/2 (half the transposes'
+   bytes, half the flops);
+3. untangle ``X_k = E_k + w^k O_k`` where E/O need ``Z_k`` and
+   ``conj(Z_{N/2-k})`` — a single **pairwise mirror exchange** (device g
+   swaps its block, reversed, with device G-1-g; G/2 concurrent
+   transfers, *not* an all-to-all), then local arithmetic.
+
+Returns the ``N/2 + 1`` non-redundant bins, ``numpy.fft.rfft``
+conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.fftcore.twiddle import twiddles
+from repro.machine.cluster import VirtualCluster
+from repro.util.bitmath import is_pow2
+from repro.util.validation import ParameterError, check_multiple, check_pow2
+
+
+class DistributedRealFFT:
+    """Plan for a distributed real-to-complex FFT of length N.
+
+    Parameters
+    ----------
+    N:
+        Input length (power of two, >= 4, with ``2 G | N``).
+    cluster:
+        The machine to run on.
+    dtype:
+        Real input precision: 'float32' or 'float64'.
+    chunks, backend:
+        Passed through to the inner complex FFT.
+    """
+
+    def __init__(
+        self,
+        N: int,
+        cluster: VirtualCluster,
+        dtype="float64",
+        chunks: int = 4,
+        backend: str = "auto",
+    ):
+        check_pow2("N", N)
+        if N < 4:
+            raise ParameterError(f"N must be >= 4, got {N}")
+        dt = np.dtype(dtype)
+        if dt.kind != "f":
+            raise ParameterError(f"dtype must be real, got {dt!r}")
+        check_multiple("N", N, 2 * cluster.G, "2G")
+        self.N = N
+        self.cl = cluster
+        self.rdtype = dt
+        self.cdtype = np.dtype(np.complex64 if dt == np.float32 else np.complex128)
+        self.inner = Distributed1DFFT(
+            N // 2, cluster, dtype=self.cdtype, chunks=chunks, backend=backend
+        )
+
+    def run(self, x: np.ndarray | None = None, key: str = "drfft") -> np.ndarray | None:
+        """Execute; returns the N/2 + 1 rfft bins (gathered) or None."""
+        cl, N, G = self.cl, self.N, self.cl.G
+        h = N // 2
+        blk = h // G  # Z bins per device
+
+        # -- (1) pack (local) + (2) half-size complex distributed FFT -----
+        if cl.execute:
+            if x is None:
+                raise ParameterError("execute-mode cluster requires input data")
+            x = np.asarray(x, dtype=self.rdtype)
+            if x.shape != (N,):
+                raise ParameterError(f"input must have shape ({N},), got {x.shape}")
+            z = (x[0::2] + 1j * x[1::2]).astype(self.cdtype)
+        else:
+            z = None
+        # charge the pack pass (read x, write z) on each device
+        itemr = self.rdtype.itemsize
+        for g in range(G):
+            cl.launch(g, "rfft.pack", "copy", flops=0.0,
+                      mops=(N / G) * itemr + blk * 2 * itemr,
+                      dtype=self.rdtype)
+        Zfull = self.inner.run(z, key=key)
+
+        # -- (3) mirror exchange + untangle --------------------------------
+        itemc = self.cdtype.itemsize
+        if cl.execute:
+            Z = np.asarray(Zfull).reshape(h)
+        for g in range(G):
+            # device g needs Z_{h-k} for its k-range: held by mirror device
+            mirror = (G - 1 - g) if G > 1 else 0
+            cl.sendrecv(g, mirror, blk * itemc, "rfft.mirror")
+        evs = [
+            cl.launch(g, "rfft.untangle", "custom",
+                      flops=10.0 * blk, mops=3 * blk * itemc,
+                      dtype=self.cdtype)
+            for g in range(G)
+        ]
+        cl.barrier()
+
+        if not cl.execute:
+            return None
+        idx = (-np.arange(h)) % h
+        Zc = np.conj(Z[idx])
+        E = 0.5 * (Z + Zc)
+        O = -0.5j * (Z - Zc)
+        w = twiddles(N, -1, self.cdtype)[:h]
+        out = np.empty(h + 1, dtype=self.cdtype)
+        out[:h] = E + w * O
+        out[h] = (E[0] - O[0]).real
+        return out

@@ -1,0 +1,110 @@
+"""The distributed transpose: one personalized all-to-all.
+
+Device g holds rows ``[g*r, (g+1)*r)`` of an ``R x C`` matrix; after the
+transpose, device h holds rows ``[h*c, (h+1)*c)`` of the ``C x R``
+transposed matrix.  Device g therefore sends sub-block
+``A_g[:, h*c:(h+1)*c]`` to every h != g — exactly ``(G-1)/G`` of its
+local data — and locally reorders its diagonal sub-block.
+
+Chunking: the all-to-all can be issued in ``chunks`` pieces, each gated
+on a caller-supplied event (typically the completion of the local FFT
+that produced those rows).  This is how the six-step baseline reproduces
+cuFFTXT's comm/compute overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dfft.layout import BlockRows
+from repro.machine.cluster import VirtualCluster
+from repro.machine.stream import Event
+from repro.util.validation import ParameterError
+
+
+def _move_blocks(cl: VirtualCluster, src_key: str, dst_key: str, layout: BlockRows) -> None:
+    """Perform the real data movement of the transpose (all at once)."""
+    G = cl.G
+    c = layout.cols_local
+    srcs = [
+        np.asarray(cl.dev(g)[src_key]).reshape(layout.rows_local, layout.cols)
+        for g in range(G)
+    ]
+    for h in range(G):
+        # rows h*c..(h+1)*c of the transposed matrix = cols h*c.. of A
+        cols = [srcs[g][:, h * c : (h + 1) * c] for g in range(G)]
+        block = np.vstack(cols)  # (rows, cols_local)
+        cl.dev(h)[dst_key] = np.ascontiguousarray(block.T)  # (cols_local, rows)
+
+
+def distributed_transpose(
+    cl: VirtualCluster,
+    src_key: str,
+    dst_key: str,
+    layout: BlockRows,
+    dtype,
+    name: str = "transpose",
+    after_chunks: Sequence[Sequence[Event]] | None = None,
+    chunks: int = 1,
+) -> list[Event]:
+    """Transpose a block-row distributed matrix; returns per-device events.
+
+    Parameters
+    ----------
+    cl:
+        The cluster (must have ``G == layout.G``).
+    src_key, dst_key:
+        Device buffer names; ``dst_key`` receives the transposed local
+        block of shape ``(cols_local, rows)``.
+    layout:
+        The source layout.
+    dtype:
+        Element dtype (for byte accounting).
+    name:
+        Ledger stage name.
+    after_chunks:
+        Optional per-chunk event dependencies, ``len == chunks``; chunk
+        ``i`` starts only after ``after_chunks[i]``.
+    chunks:
+        Number of all-to-all pieces to pipeline.
+    """
+    if cl.G != layout.G:
+        raise ParameterError(f"cluster G={cl.G} != layout G={layout.G}")
+    if chunks < 1:
+        raise ParameterError(f"chunks must be >= 1, got {chunks}")
+    if after_chunks is not None and len(after_chunks) != chunks:
+        raise ParameterError(
+            f"after_chunks has {len(after_chunks)} entries for {chunks} chunks"
+        )
+    itemsize = np.dtype(dtype).itemsize
+    sent = layout.alltoall_bytes_sent(itemsize)
+
+    # Real data moves once, with the first chunk (orchestration is
+    # sequential, so the data is complete by the time any fn runs).
+    def fn(c: VirtualCluster) -> None:
+        _move_blocks(c, src_key, dst_key, layout)
+
+    events: list[Event] = []
+    for i in range(chunks):
+        after = tuple(after_chunks[i]) if after_chunks is not None else ()
+        events = cl.alltoall(
+            sent / chunks,
+            name=name,
+            after=after,
+            fn=fn if i == 0 else None,
+        )
+    # Local diagonal sub-block still needs an on-device reorder
+    # (read + write of local_bytes / G); on G == 1 this is the whole
+    # transpose and carries the full local cost.
+    local_bytes = layout.local_bytes(itemsize)
+    reorder = 2.0 * (local_bytes if cl.G == 1 else local_bytes / cl.G)
+    out: list[Event] = []
+    for g in range(cl.G):
+        ev = cl.launch(
+            g, name=f"{name}.reorder", kind="copy", flops=0.0, mops=reorder,
+            dtype=dtype, stream="compute", after=[events[min(g, len(events) - 1)]],
+        )
+        out.append(ev)
+    return out

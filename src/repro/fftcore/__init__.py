@@ -1,0 +1,36 @@
+"""From-scratch local FFT engine (the cuFFT-substitute substrate).
+
+The paper's pipelines lean on a vendor FFT (cuFFT) for the *local*
+transforms inside the distributed 1D and 2D FFTs.  This package provides
+that substrate:
+
+- :mod:`repro.fftcore.stockham` — iterative Stockham autosort radix-2/4
+  FFT, batched over leading axes, one O(n·batch) NumPy pass per stage so
+  it vectorizes well (see the HPC guides: few large vector ops, no
+  per-element Python).
+- :mod:`repro.fftcore.bluestein` — chirp-z (Bluestein) transform for
+  arbitrary lengths, built on the power-of-two Stockham core.
+- :mod:`repro.fftcore.plan` — :class:`LocalFFTPlan` with cached twiddles
+  and a backend switch (``stockham`` / ``bluestein`` / ``numpy``), plus
+  module-level :func:`fft` / :func:`ifft` conveniences.
+- :mod:`repro.fftcore.flops` — flop/memory-pass cost model used by the
+  machine simulator to price local FFT launches.
+"""
+
+from repro.fftcore.plan import LocalFFTPlan, fft, ifft
+from repro.fftcore.stockham import fft_pow2
+from repro.fftcore.bluestein import fft_bluestein
+from repro.fftcore.flops import fft_flops, fft_mops
+from repro.fftcore.real import irfft_pow2, rfft_pow2
+
+__all__ = [
+    "LocalFFTPlan",
+    "fft",
+    "fft_bluestein",
+    "fft_flops",
+    "fft_mops",
+    "fft_pow2",
+    "ifft",
+    "irfft_pow2",
+    "rfft_pow2",
+]

@@ -1,0 +1,61 @@
+"""Bluestein (chirp-z) FFT for arbitrary transform lengths.
+
+Rewrites the DFT as a circular convolution with a chirp::
+
+    X_k = conj(c_k) * sum_j (x_j * conj(c_j)) * c_(k-j),   c_j = exp(sign pi i j^2 / n)
+
+and evaluates the convolution with a zero-padded power-of-two FFT of
+length >= 2n - 1 via :func:`repro.fftcore.stockham.fft_pow2`.  This makes
+the local engine total: any length, same API, O(n log n).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fftcore.stockham import fft_pow2
+from repro.util.bitmath import next_pow2
+
+
+def _chirp(n: int, sign: int, dtype) -> np.ndarray:
+    """The chirp ``exp(sign * pi i j^2 / n)``, computed with j^2 mod 2n.
+
+    Reducing ``j^2`` modulo ``2n`` before the complex exponential keeps
+    full accuracy for large ``n`` (j^2 overflows double-precision exactness
+    around n ~ 2^26 otherwise).
+    """
+    j = np.arange(n, dtype=np.int64)
+    jsq = (j * j) % (2 * n)
+    return np.exp(sign * 1j * np.pi * jsq / n).astype(dtype)
+
+
+def fft_bluestein(x: np.ndarray, sign: int = -1) -> np.ndarray:
+    """Batched arbitrary-length FFT along the last axis (unnormalized).
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(..., n)``, any ``n >= 1``.
+    sign:
+        -1 forward, +1 unnormalized inverse.
+    """
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be +-1, got {sign!r}")
+    n = x.shape[-1]
+    cdt = np.complex64 if x.dtype in (np.float32, np.complex64) else np.complex128
+    if n == 1:
+        return x.astype(cdt).copy()
+    # With c built from -sign, conj(c_k) * sum_j (x_j conj(c_j)) c_{k-j}
+    # expands to sum_j x_j exp(sign 2 pi i j k / n) — the requested kernel.
+    c = _chirp(n, -sign, cdt)
+    m = next_pow2(2 * n - 1)
+    lead = x.shape[:-1]
+    a = np.zeros(lead + (m,), dtype=cdt)
+    a[..., :n] = x.astype(cdt) * np.conj(c)
+    b = np.zeros(m, dtype=cdt)
+    b[:n] = c
+    b[m - n + 1 :] = c[1:][::-1]  # wrap negative lags: b[m-j] = c[j]
+    fa = fft_pow2(a, sign=-1)
+    fb = fft_pow2(b, sign=-1)
+    conv = fft_pow2(fa * fb, sign=+1) / m
+    return (np.conj(c) * conv[..., :n]).astype(cdt)

@@ -1,0 +1,81 @@
+"""Cost model for local FFT launches.
+
+Used by the machine simulator to price FFT kernels.  Conventions follow
+the standard accounting the paper (and the FFT literature) uses:
+
+- complex 1D FFT of length n: ``5 n log2 n`` real flops;
+- a GPU FFT kernel makes ``ceil(log_r n)`` passes over the data for
+  radix ``r`` (cuFFT uses high radices; we model r = 8), each pass
+  reading and writing the whole array.
+
+The distinction matters: the paper's Section 6 observes that large local
+FFTs are *memory-bandwidth* bound on GPUs, which is what makes the
+distributed 2D FFT's single transpose — not its flops — the budget the
+FMM must beat.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive
+
+#: Modeled GPU FFT kernel radix: each fused shared-memory kernel pass
+#: handles ~10 bits (cuFFT processes up to ~1024 points per CTA), so a
+#: 2^27 transform is ~3 passes over memory — matching measured cuFFT
+#: bandwidth-bound throughput on P100-class devices.
+MODEL_RADIX_BITS = 10
+
+
+def fft_flops(n: int, batch: int = 1, complex_input: bool = True) -> float:
+    """Real floating-point operations for ``batch`` FFTs of length ``n``.
+
+    Real-input transforms cost roughly half a complex transform (the
+    standard 2.5 n log2 n accounting).
+    """
+    check_positive("n", n)
+    check_positive("batch", batch)
+    base = 5.0 * n * math.log2(n) if n > 1 else 0.0
+    if not complex_input:
+        base *= 0.5
+    return base * batch
+
+
+def fft_passes(n: int) -> float:
+    """Effective kernel passes over the data for a length-n FFT.
+
+    Modeled smoothly as ``max(1, log2(n) / MODEL_RADIX_BITS)`` rather
+    than a ceil: real libraries blend radices across passes, and a
+    stair-step here would put artificial cliffs into the parameter-
+    dependence studies (Figures 6-8).
+    """
+    check_positive("n", n)
+    if n == 1:
+        return 1.0
+    return max(1.0, math.log2(n) / MODEL_RADIX_BITS)
+
+
+def fft_mops(n: int, batch: int, itemsize: int) -> float:
+    """Bytes moved through memory for ``batch`` FFTs of length ``n``.
+
+    Each modeled pass reads and writes the full array once.
+    """
+    check_positive("itemsize", itemsize)
+    return 2.0 * fft_passes(n) * n * batch * itemsize
+
+
+#: Half-efficiency transform length for batched small-n FFTs.
+SMALL_N_HALF_EFF = 40.0
+
+
+def fft_small_n_efficiency(n: int) -> float:
+    """Bandwidth efficiency of batched FFTs with a small transform dim.
+
+    Very short rows under-utilize the memory system (strided gathers,
+    per-row index math dominate): modeled as ``n / (n + 40)``.  This is
+    what makes extreme-aspect 2D FFTs ~3x slower than square ones
+    (paper Section 6.3.2 / Figure 7) while leaving the near-square
+    six-step baseline untouched.
+    """
+    check_positive("n", n)
+    return n / (n + SMALL_N_HALF_EFF)

@@ -1,0 +1,102 @@
+"""Local FFT plans and convenience transforms.
+
+:class:`LocalFFTPlan` mirrors the plan-based API of vendor FFT libraries
+(cuFFT/FFTW): construct once for a ``(n, dtype)`` pair, then apply to many
+batches.  The plan chooses a backend:
+
+- ``stockham`` — power-of-two iterative autosort (default for 2^k),
+- ``bluestein`` — chirp-z for general n,
+- ``numpy`` — delegate to ``numpy.fft`` (pocketfft); used as an oracle in
+  tests and as an opt-in fast path for very large integration runs.
+
+Conventions match ``numpy.fft``: forward is unnormalized, inverse scales
+by ``1/n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fftcore.bluestein import fft_bluestein
+from repro.fftcore.stockham import fft_pow2
+from repro.util.bitmath import is_pow2
+from repro.util.validation import ParameterError, check_in, check_positive
+
+
+class LocalFFTPlan:
+    """A reusable 1D FFT plan applied along a chosen axis of a batch.
+
+    Parameters
+    ----------
+    n:
+        Transform length.
+    dtype:
+        Working complex precision: 'complex64' or 'complex128'.
+    backend:
+        'auto' (default), 'stockham', 'bluestein', or 'numpy'.
+        'auto' selects 'stockham' for powers of two, else 'bluestein'.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> plan = LocalFFTPlan(8)
+    >>> x = np.arange(8.0)
+    >>> np.allclose(plan.forward(x), np.fft.fft(x))
+    True
+    """
+
+    def __init__(self, n: int, dtype="complex128", backend: str = "auto"):
+        check_positive("n", n)
+        dt = np.dtype(dtype)
+        if dt.kind != "c":
+            raise ParameterError(f"LocalFFTPlan dtype must be complex, got {dt!r}")
+        check_in("backend", backend, ("auto", "stockham", "bluestein", "numpy"))
+        if backend == "auto":
+            backend = "stockham" if is_pow2(n) else "bluestein"
+        if backend == "stockham" and not is_pow2(n):
+            raise ParameterError(f"stockham backend requires power-of-two n, got {n}")
+        self.n = int(n)
+        self.dtype = dt
+        self.backend = backend
+
+    def _apply(self, x: np.ndarray, axis: int, sign: int) -> np.ndarray:
+        if x.shape[axis] != self.n:
+            raise ParameterError(
+                f"axis {axis} has length {x.shape[axis]}, plan expects {self.n}"
+            )
+        moved = np.moveaxis(x, axis, -1)
+        if self.backend == "numpy":
+            out = np.fft.fft(moved) if sign < 0 else np.fft.ifft(moved) * self.n
+            out = out.astype(self.dtype)
+        elif self.backend == "stockham":
+            out = fft_pow2(moved.astype(self.dtype, copy=False), sign=sign)
+        else:
+            out = fft_bluestein(moved.astype(self.dtype, copy=False), sign=sign)
+        return np.moveaxis(out, -1, axis)
+
+    def forward(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Unnormalized forward DFT along ``axis``."""
+        return self._apply(np.asarray(x), axis, -1)
+
+    def inverse(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Inverse DFT along ``axis`` (scaled by ``1/n``)."""
+        return self._apply(np.asarray(x), axis, +1) / self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalFFTPlan(n={self.n}, dtype={self.dtype.name}, backend={self.backend!r})"
+
+
+def fft(x: np.ndarray, axis: int = -1, dtype=None) -> np.ndarray:
+    """One-shot forward FFT along ``axis`` using a throwaway plan."""
+    x = np.asarray(x)
+    if dtype is None:
+        dtype = np.complex64 if x.dtype in (np.float32, np.complex64) else np.complex128
+    return LocalFFTPlan(x.shape[axis], dtype=dtype).forward(x, axis=axis)
+
+
+def ifft(x: np.ndarray, axis: int = -1, dtype=None) -> np.ndarray:
+    """One-shot inverse FFT along ``axis`` using a throwaway plan."""
+    x = np.asarray(x)
+    if dtype is None:
+        dtype = np.complex64 if x.dtype in (np.float32, np.complex64) else np.complex128
+    return LocalFFTPlan(x.shape[axis], dtype=dtype).inverse(x, axis=axis)

@@ -1,0 +1,57 @@
+"""Twiddle-factor tables with process-wide caching.
+
+Twiddle generation (``exp(±2πi k / n)``) is pure overhead if repeated per
+transform, so tables are cached keyed by ``(n, sign, precision)``.  The
+cache is bounded: plans for the paper's sweeps touch a few dozen sizes,
+but a long-lived process running many unrelated sizes should not grow
+without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+_CACHE: OrderedDict[tuple[int, int, str], np.ndarray] = OrderedDict()
+_CACHE_MAX = 256
+
+
+def twiddles(n: int, sign: int, dtype="complex128") -> np.ndarray:
+    """Return ``exp(sign * 2πi * k / n)`` for ``k = 0..n-1`` (cached).
+
+    Parameters
+    ----------
+    n:
+        Table length (the transform size the factors belong to).
+    sign:
+        -1 for forward transforms, +1 for inverse.
+    dtype:
+        complex64 or complex128.
+    """
+    if sign not in (-1, 1):
+        raise ValueError(f"sign must be +-1, got {sign!r}")
+    dt = np.dtype(dtype)
+    key = (n, sign, dt.name)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        _CACHE.move_to_end(key)
+        return hit
+    # Always compute in double precision, then narrow: float32 twiddles
+    # computed natively lose ~1 digit on large n.
+    k = np.arange(n, dtype=np.float64)
+    tab = np.exp(sign * 2j * np.pi * k / n).astype(dt)
+    _CACHE[key] = tab
+    if len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+    return tab
+
+
+def clear_cache() -> None:
+    """Drop all cached tables (used by tests)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    """Number of cached tables."""
+    return len(_CACHE)

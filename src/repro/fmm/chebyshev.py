@@ -1,0 +1,69 @@
+"""Chebyshev interpolation machinery (Section 4.3).
+
+The paper replaces Edelman's enhanced basis with plain Lagrange
+interpolation over Chebyshev points of the first kind::
+
+    z_j = cos((2j + 1) pi / (2Q)),    j = 0..Q-1
+
+which makes the M2M/L2L operators level-independent (a simpler
+algorithm, less precomputation).  Evaluation uses the barycentric form,
+which is numerically stable for the Q <= 24 range the paper sweeps
+(Figure 9) — the naive product form loses digits past Q ~ 20.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def cheb_points(Q: int) -> np.ndarray:
+    """Chebyshev points of the first kind, ``z_j = cos((2j+1)pi/2Q)``."""
+    check_positive("Q", Q)
+    j = np.arange(Q)
+    return np.cos((2 * j + 1) * np.pi / (2 * Q))
+
+
+def barycentric_weights(Q: int) -> np.ndarray:
+    """Barycentric weights for first-kind points.
+
+    Up to a common factor (which cancels), ``w_j = (-1)^j sin((2j+1)pi/2Q)``.
+    """
+    check_positive("Q", Q)
+    j = np.arange(Q)
+    return (-1.0) ** j * np.sin((2 * j + 1) * np.pi / (2 * Q))
+
+
+def lagrange_eval(Q: int, z: np.ndarray) -> np.ndarray:
+    """Evaluate all Q Lagrange basis polynomials at points ``z``.
+
+    Returns ``L`` with ``L[q, e] = ell_q(z[e])``.  Columns sum to one
+    (partition of unity), which is what makes the S2M/M2M operators
+    sum-preserving — the property the REDUCE stage (Section 4.8)
+    exploits to compute ``r_p`` from base-level multipoles.
+    """
+    z = np.atleast_1d(np.asarray(z, dtype=np.float64))
+    zq = cheb_points(Q)
+    w = barycentric_weights(Q)
+    diff = z[None, :] - zq[:, None]  # (Q, E)
+    exact = np.isclose(diff, 0.0, atol=1e-15)
+    # Guard exact hits, evaluate barycentric ratio elsewhere.
+    safe = np.where(exact, 1.0, diff)
+    ratios = w[:, None] / safe
+    denom = ratios.sum(axis=0)
+    L = ratios / denom
+    hit_cols = exact.any(axis=0)
+    if hit_cols.any():
+        L[:, hit_cols] = np.where(exact[:, hit_cols], 1.0, 0.0)
+    return L
+
+
+def interp_matrix(Q: int, z: np.ndarray) -> np.ndarray:
+    """Interpolation matrix mapping nodal values to values at ``z``.
+
+    ``P[e, q] = ell_q(z[e])`` — the transpose of :func:`lagrange_eval`,
+    provided for callers that think of interpolation rather than
+    anterpolation.
+    """
+    return lagrange_eval(Q, z).T

@@ -1,0 +1,456 @@
+"""Distributed execution of the P-1 interleaved FMMs (Algorithm 1).
+
+Box ownership is contiguous per device at every level (see
+:class:`~repro.fmm.tree.Tree1D`), so the communication pattern is
+exactly the paper's:
+
+- **COMM S** — one leaf box to each cyclic neighbour (halo width 1),
+  overlapped with S2M on the compute stream;
+- **COMM M-ell** — two boxes to each neighbour per hierarchical level
+  (halo width 2), overlapped with the previous level's M2L;
+- **COMM M-B** — one all-to-all gather of the base-level multipoles,
+  after which M2L-B and the reduction run on replicated data.
+
+M2M and L2L never communicate: children of owned parents are owned.
+
+Every compute stage is one launch per device per level, with flop/byte
+costs derived from the actual tensor shapes — the ledger sums are
+cross-checked against the Section 5 closed forms in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm.interaction import COUSINS_EVEN, COUSINS_ODD, base_offsets
+from repro.fmm.plan import FmmGeometry, FmmOperators
+from repro.machine.cluster import VirtualCluster
+from repro.machine.stream import Event
+from repro.util.validation import ParameterError, c_factor, real_dtype_for
+
+
+class DistributedFMM:
+    """All P-1 FMMs across a :class:`VirtualCluster` (Algorithm 1).
+
+    Parameters
+    ----------
+    operators:
+        A prebuilt :class:`FmmOperators` (required for execute-mode
+        clusters) or a bare :class:`FmmGeometry` (sufficient for
+        timing-only sweeps at any scale).  The tree's G must match the
+        cluster's device count.
+    cluster:
+        The machine to run on.
+    dtype:
+        Input/output dtype (sets the C factor and byte widths).
+    """
+
+    def __init__(
+        self,
+        operators: FmmOperators | FmmGeometry,
+        cluster: VirtualCluster,
+        dtype="complex128",
+        fuse_m2l_l2l: bool = False,
+    ):
+        """``fuse_m2l_l2l`` enables the Section 5.3 fusion: each level's
+        M2L and the L2L feeding it run as one kernel, saving one write
+        and one read of the local-expansion data per level (identical
+        numerics; fewer launches and memory ops)."""
+        if operators.tree.G != cluster.G:
+            raise ParameterError(
+                f"operators built for G={operators.tree.G}, cluster has G={cluster.G}"
+            )
+        if cluster.execute and not isinstance(operators, FmmOperators):
+            raise ParameterError(
+                "execute-mode clusters need full FmmOperators, got geometry only"
+            )
+        self.ops = operators
+        self.cl = cluster
+        self.dtype = np.dtype(dtype)
+        self.fuse_m2l_l2l = fuse_m2l_l2l
+        self.C = c_factor(self.dtype)
+        self.rsize = np.dtype(real_dtype_for(self.dtype)).itemsize
+        self.csize = self.C * self.rsize  # bytes per input element
+
+    # -- cost helpers -----------------------------------------------------
+
+    def _gemm_cost(self, m: int, n: int, k: int, batch: float) -> tuple[float, float]:
+        """(flops, bytes) for a batched GEMM on C-factor-flattened data.
+
+        Operator A is real (m x k); data B and output C' carry the C
+        factor.  Matches the Section 5 convention that complex input
+        doubles flops and data bytes but not operator bytes.
+        """
+        flops = 2.0 * m * n * k * batch * self.C
+        bytes_ = (
+            m * k * self.rsize                      # operator (read)
+            + k * n * batch * self.csize            # input (read)
+            + m * n * batch * self.csize            # output (write)
+        )
+        return flops, bytes_
+
+    # -- data staging ------------------------------------------------------
+
+    def scatter(self, S: np.ndarray, key: str = "fmm.S") -> None:
+        """Place each device's leaf-box slice of S (shape (P, M))."""
+        o = self.ops
+        Sb = np.asarray(S, dtype=self.dtype).reshape(o.P, o.tree.num_leaves, o.ML)
+        for g in range(self.cl.G):
+            b0, b1 = o.tree.box_range(o.L, g)
+            self.cl.dev(g)[key] = Sb[:, b0:b1, :].copy()
+
+    def gather(self, key: str = "fmm.T") -> np.ndarray:
+        """Reassemble the (P, M) output from per-device box slices."""
+        o = self.ops
+        parts = [np.asarray(self.cl.dev(g)[key]) for g in range(self.cl.G)]
+        return np.concatenate(parts, axis=1).reshape(o.P, o.M)
+
+    # -- pipeline ----------------------------------------------------------
+
+    def run(
+        self,
+        S: np.ndarray | None = None,
+        key_in: str = "fmm.S",
+        key_out: str = "fmm.T",
+        staged: bool = False,
+    ) -> tuple[list[Event], np.ndarray | None]:
+        """Execute Algorithm 1 lines 1-14 (S2M .. L2T).
+
+        Returns ``(events, r)``: per-device completion events for the T
+        tensor (so the 2D FFT can chain off them) and the replicated
+        reduction vector r (execute mode; None otherwise).  POST is left
+        to the caller — the FMM-FFT fuses it into the 2D FFT's load
+        callback.
+        """
+        cl, o = self.cl, self.ops
+        G, P, Q, ML = cl.G, o.P, o.Q, o.ML
+        L, B = o.L, o.B
+        nb_loc = o.tree.boxes_local(L)
+
+        if cl.execute and not staged:
+            if S is None:
+                raise ParameterError("execute-mode cluster requires input data")
+            self.scatter(S, key_in)
+
+        # ---- line 1: S2M (one BatchedGEMM per device) --------------------
+        flops, mops = self._gemm_cost(Q, nb_loc, ML, P - 1)
+        ev_s2m = [
+            cl.launch(
+                g, "S2M", "batched_gemm", flops, mops, self.dtype,
+                fn=(lambda c: self._do_s2m(key_in)) if g == 0 else None,
+            )
+            for g in range(G)
+        ]
+
+        # ---- line 2: COMM S (halo width 1), overlapped with S2M ----------
+        halo_bytes = (P - 1) * ML * self.csize
+        ev_shalo = self._halo_exchange("S", key_in, 1, halo_bytes, "COMM-S")
+
+        # ---- line 3: S2T after the S halo ---------------------------------
+        flops = 6.0 * self.C * ML * ML * nb_loc * (P - 1)
+        # operators generated on the fly (Section 5.3): traffic is the
+        # halo-extended read of S plus the write of T.
+        mops = (nb_loc + 2) * ML * P * self.csize + nb_loc * ML * P * self.csize
+        ev_s2t = [
+            cl.launch(
+                g, "S2T", "custom", flops, mops, self.dtype,
+                after=[ev_shalo[g], ],
+                fn=(lambda c: self._do_s2t(key_in, key_out)) if g == 0 else None,
+            )
+            for g in range(G)
+        ]
+
+        # ---- lines 4-5: M2M up the tree -----------------------------------
+        ev_m_level: dict[int, list[Event]] = {L: list(ev_s2m)}
+        ev_m = list(ev_s2m)
+        for ell in o.tree.levels_m2m():
+            nbl = o.tree.boxes_local(ell)
+            flops, mops = self._gemm_cost(Q, nbl, 2 * Q, P - 1)
+            ev_m = [
+                cl.launch(
+                    g, f"M2M-{ell}", "batched_gemm", flops, mops, self.dtype,
+                    after=[ev_m[g]],
+                    fn=(lambda c, e=ell: self._do_m2m(e)) if g == 0 else None,
+                )
+                for g in range(G)
+            ]
+            ev_m_level[ell] = ev_m
+
+        # ---- lines 6-8: M halo + cousin M2L per level ----------------------
+        ev_loc: dict[int, list[Event]] = {}
+        ev_mh_level: dict[int, list[Event]] = {}
+        for ell in o.tree.levels_m2l():
+            nbl = o.tree.boxes_local(ell)
+            mh_bytes = 2 * (P - 1) * Q * self.csize  # two boxes per side
+            ev_mh = self._halo_exchange(f"M{ell}", None, 2, mh_bytes, f"COMM-M{ell}",
+                                        level=ell, after=ev_m_level[ell])
+            ev_mh_level[ell] = ev_mh
+            if self.fuse_m2l_l2l:
+                continue  # M2L runs fused with L2L in the downward pass
+            flops = 6.0 * self.C * nbl * (P - 1) * Q * Q
+            mops = ((nbl + 4) * Q + nbl * Q) * (P - 1) * self.csize
+            ev_loc[ell] = [
+                cl.launch(
+                    g, f"M2L-{ell}", "custom", flops, mops, self.dtype,
+                    after=[ev_mh[g]],
+                    fn=(lambda c, e=ell: self._do_m2l_level(e)) if g == 0 else None,
+                )
+                for g in range(G)
+            ]
+
+        # ---- line 9: all-to-all gather of base multipoles -------------------
+        base_bytes = (P - 1) * o.tree.boxes_local(B) * Q * self.csize
+        ev_gather = cl.allgather(
+            base_bytes, "COMM-MB",
+            after=[ev_m[g] for g in range(G)] if G > 1 else ev_m,
+            fn=lambda c: self._do_gather_base(),
+        )
+
+        # ---- line 10: dense base-level M2L -----------------------------------
+        nS = (1 << B) - 3
+        nbB_loc = o.tree.boxes_local(B)
+        flops = 2.0 * self.C * nbB_loc * nS * (P - 1) * Q * Q
+        mops = ((1 << B) * Q + nbB_loc * Q) * (P - 1) * self.csize
+        ev_base = [
+            cl.launch(
+                g, "M2L-B", "custom", flops, mops, self.dtype,
+                after=[ev_gather[min(g, len(ev_gather) - 1)]],
+                fn=(lambda c: self._do_m2l_base()) if g == 0 else None,
+            )
+            for g in range(G)
+        ]
+
+        # ---- line 11: REDUCE (one GEMV on the gathered base data) ------------
+        flops = self.C * (1 << B) * (P - 1) * Q
+        mops = (1 << B) * (P - 1) * Q * self.csize + (P - 1) * self.csize
+        ev_red = [
+            cl.launch(
+                g, "REDUCE", "gemv", flops, mops, self.dtype,
+                after=[ev_gather[min(g, len(ev_gather) - 1)]],
+                fn=(lambda c: self._do_reduce()) if g == 0 else None,
+            )
+            for g in range(G)
+        ]
+
+        # ---- lines 12-13: L2L down the tree -----------------------------------
+        ev_l = ev_base
+        for ell in o.tree.levels_l2l():
+            nbl = o.tree.boxes_local(ell)
+            flops, mops = self._gemm_cost(2 * Q, nbl, Q, P - 1)
+            if self.fuse_m2l_l2l:
+                # one kernel: M2L-(ell+1) accumulated with L2L-(ell);
+                # saves one write + one read of the child L data.
+                nbl1 = o.tree.boxes_local(ell + 1)
+                flops += 6.0 * self.C * nbl1 * (P - 1) * Q * Q
+                mops += ((nbl1 + 4) * Q + nbl1 * Q) * (P - 1) * self.csize
+                mops -= 2.0 * nbl1 * Q * (P - 1) * self.csize
+                waits = [
+                    max(ev_l[g], ev_mh_level[ell + 1][g], key=lambda e: e.time)
+                    for g in range(G)
+                ]
+                ev_l = [
+                    cl.launch(
+                        g, f"M2L+L2L-{ell + 1}", "custom", flops, mops, self.dtype,
+                        after=[waits[g]],
+                        fn=(lambda c, e=ell: self._do_fused_m2l_l2l(e)) if g == 0 else None,
+                    )
+                    for g in range(G)
+                ]
+                continue
+            waits = [ev_l[g] for g in range(G)]
+            # the destination level's own M2L must also be done
+            if (ell + 1) in ev_loc:
+                waits = [max(waits[g], ev_loc[ell + 1][g], key=lambda e: e.time) for g in range(G)]
+            ev_l = [
+                cl.launch(
+                    g, f"L2L-{ell}", "batched_gemm", flops, mops, self.dtype,
+                    after=[waits[g]],
+                    fn=(lambda c, e=ell: self._do_l2l(e)) if g == 0 else None,
+                )
+                for g in range(G)
+            ]
+
+        # ---- line 14: L2T (accumulate into T) ----------------------------------
+        flops, mops = self._gemm_cost(ML, nb_loc, Q, P - 1)
+        mops += nb_loc * ML * (P - 1) * self.csize  # read T for accumulation
+        ev_t = [
+            cl.launch(
+                g, "L2T", "batched_gemm", flops, mops, self.dtype,
+                after=[ev_l[g], ev_s2t[g]],
+                fn=(lambda c: self._do_l2t(key_out)) if g == 0 else None,
+            )
+            for g in range(G)
+        ]
+
+        r = self._r if cl.execute else None
+        return ev_t, r
+
+    # -- halo machinery ------------------------------------------------------
+
+    def _halo_exchange(
+        self,
+        what: str,
+        key: str | None,
+        width: int,
+        nbytes: float,
+        name: str,
+        level: int | None = None,
+        after: list[Event] | None = None,
+    ) -> list[Event]:
+        """Cyclic neighbour exchange of ``width`` boxes per side.
+
+        Two fully parallel ring shifts (right then left); returns per-
+        device events for halo arrival.  ``after[g]`` gates device g's
+        sends on its producer kernel.  The real data is stashed in
+        ``self._halo[what]`` as (left_halo, right_halo) per device.
+        """
+        cl, G = self.cl, self.cl.G
+        if cl.execute:
+            self._stash_halo(what, key, width, level)
+        if G == 1:
+            if after:
+                return [Event(after[0].time, name)]
+            st = [cl.dev(0).stream("comm.rx")]
+            return [Event(st[0].clock, name)]
+        deps = after or [None] * G
+        ev_right = [
+            cl.sendrecv(g, (g + 1) % G, nbytes, name,
+                        after=[deps[g]] if deps[g] is not None else ())
+            for g in range(G)
+        ]
+        ev_left = [
+            cl.sendrecv(g, (g - 1) % G, nbytes, name,
+                        after=[deps[g]] if deps[g] is not None else ())
+            for g in range(G)
+        ]
+        out = []
+        for g in range(G):
+            # device g receives from g-1 (right shift) and g+1 (left shift)
+            recv_r = ev_right[(g - 1) % G]
+            recv_l = ev_left[(g + 1) % G]
+            out.append(recv_r if recv_r.time >= recv_l.time else recv_l)
+        return out
+
+    def _stash_halo(self, what: str, key: str | None, width: int, level: int | None) -> None:
+        """Record the halo data every device will need (execute mode)."""
+        cl, G = self.cl, self.cl.G
+        halos = {}
+        for g in range(G):
+            if key is not None:
+                a = np.asarray(cl.dev(g)[key])
+            else:
+                a = self._Mexp[g][level]
+            left_src = np.asarray(
+                cl.dev((g - 1) % G)[key] if key is not None else self._Mexp[(g - 1) % G][level]
+            )
+            right_src = np.asarray(
+                cl.dev((g + 1) % G)[key] if key is not None else self._Mexp[(g + 1) % G][level]
+            )
+            halos[g] = (left_src[:, -width:, :], right_src[:, :width, :])
+        if not hasattr(self, "_halo"):
+            self._halo = {}
+        self._halo[what] = halos
+
+    # -- real-data stage implementations ---------------------------------------
+    # Each _do_* runs once (attached to device 0's launch) and updates the
+    # per-device state for all devices; orchestration order guarantees
+    # producers ran first.
+
+    def _do_s2m(self, key_in: str) -> None:
+        cl, o = self.cl, self.ops
+        self._Mexp = []
+        for g in range(cl.G):
+            Sb = np.asarray(cl.dev(g)[key_in])  # (P, nb_loc, ML)
+            self._Mexp.append({o.L: Sb[1:] @ o.s2m.T})
+
+    def _do_s2t(self, key_in: str, key_out: str) -> None:
+        cl, o = self.cl, self.ops
+        for g in range(cl.G):
+            Sb = np.asarray(cl.dev(g)[key_in])
+            lh, rh = self._halo["S"][g]
+            ext = np.concatenate([lh[1:], Sb[1:], rh[1:]], axis=1)  # (P-1, nb+2, ML)
+            nb = Sb.shape[1]
+            Sh = np.concatenate(
+                [ext[:, 0:nb, :], ext[:, 1 : nb + 1, :], ext[:, 2 : nb + 2, :]], axis=2
+            )  # (P-1, nb, 3ML): [b-1 | b | b+1]
+            T = np.empty(
+                (o.P, nb, o.ML), dtype=np.result_type(Sb.dtype, o.real_dtype)
+            )
+            T[0] = Sb[0]
+            T[1:] = Sh @ o.s2t.transpose(0, 2, 1)
+            cl.dev(g)[key_out] = T
+
+    def _do_m2m(self, ell: int) -> None:
+        o = self.ops
+        for g in range(self.cl.G):
+            child = self._Mexp[g][ell + 1]
+            Pm1, nb2, Q = child.shape
+            self._Mexp[g][ell] = child.reshape(Pm1, nb2 // 2, 2 * Q) @ o.m2m.T
+
+    def _do_m2l_level(self, ell: int) -> None:
+        cl, o = self.cl, self.ops
+        K = o.m2l_level[ell]
+        if not hasattr(self, "_Loc"):
+            self._Loc = [dict() for _ in range(cl.G)]
+        for g in range(cl.G):
+            Me = self._Mexp[g][ell]
+            lh, rh = self._halo[f"M{ell}"][g]
+            ext = np.concatenate([lh, Me, rh], axis=1)  # (P-1, nb_loc+4, Q)
+            nb = Me.shape[1]
+            loc = np.zeros_like(Me)
+            lb = np.arange(nb)
+            for parity, offsets in ((0, COUSINS_EVEN), (1, COUSINS_ODD)):
+                targets = lb[parity::2]
+                for si, s in enumerate(offsets):
+                    src = targets + s + 2  # index into ext (halo offset 2)
+                    loc[:, targets, :] += np.matmul(
+                        ext[:, src, :], K[:, parity, si].transpose(0, 2, 1)
+                    )
+            self._Loc[g][ell] = loc
+
+    def _do_gather_base(self) -> None:
+        cl, o = self.cl, self.ops
+        self._MB = np.concatenate([self._Mexp[g][o.B] for g in range(cl.G)], axis=1)
+
+    def _do_m2l_base(self) -> None:
+        cl, o = self.cl, self.ops
+        if not hasattr(self, "_Loc"):
+            self._Loc = [dict() for _ in range(cl.G)]
+        nbB = 1 << o.B
+        for g in range(cl.G):
+            b0, b1 = o.tree.box_range(o.B, g)
+            targets = np.arange(b0, b1)
+            loc = np.zeros_like(self._MB[:, b0:b1, :])
+            for si, s in enumerate(base_offsets(o.B)):
+                src = (targets + s) % nbB
+                loc += np.matmul(
+                    self._MB[:, src, :], o.m2l_base[:, si].transpose(0, 2, 1)
+                )
+            if o.B in self._Loc[g]:
+                self._Loc[g][o.B] = self._Loc[g][o.B] + loc
+            else:
+                self._Loc[g][o.B] = loc
+
+    def _do_reduce(self) -> None:
+        self._r = self._MB.sum(axis=(1, 2))
+
+    def _do_l2l(self, ell: int) -> None:
+        o = self.ops
+        for g in range(self.cl.G):
+            parent = self._Loc[g][ell]
+            Pm1, nb, Q = parent.shape
+            pair = (parent @ o.m2m).reshape(Pm1, 2 * nb, Q)
+            self._Loc[g][ell + 1] = self._Loc[g][ell + 1] + pair
+
+    def _do_fused_m2l_l2l(self, ell: int) -> None:
+        """Fused kernel data path: M2L at level ell+1, then accumulate
+        the parent translation (identical numerics to the split path)."""
+        self._do_m2l_level(ell + 1)
+        self._do_l2l(ell)
+
+    def _do_l2t(self, key_out: str) -> None:
+        cl, o = self.cl, self.ops
+        for g in range(cl.G):
+            T = np.asarray(cl.dev(g)[key_out])
+            T[1:] += self._Loc[g][o.L] @ o.s2m
+            cl.dev(g)[key_out] = T

@@ -1,0 +1,91 @@
+"""Interaction lists for the periodic 1D FMM (Section 4.7).
+
+At a hierarchical level every box interacts with three "cousins" —
+children of the parent's neighbours that are not its own neighbours::
+
+    b even:  s in {-2, +2, +3}
+    b odd:   s in {-3, -2, +2}
+
+(cyclic in the box index).  At the base level B the list is instead
+*all* non-neighbours, ``s = 2 .. 2^B - 2`` cyclically — with B = 2 that
+is a single box, as the paper notes.
+
+The module also provides :func:`coverage_map`, which certifies the
+fundamental FMM correctness property on which everything rests: every
+ordered leaf-box pair is covered exactly once, either by the leaf-level
+near field (S2T, |s| <= 1) or by the M2L of exactly one level.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.util.validation import ParameterError, check_range
+
+#: cousin offsets for even/odd boxes at hierarchical levels
+COUSINS_EVEN = (-2, 2, 3)
+COUSINS_ODD = (-3, -2, 2)
+#: near-field offsets at the leaf level
+NEAR_OFFSETS = (-1, 0, 1)
+
+
+def cousin_offsets(box_parity: int) -> tuple[int, ...]:
+    """The three cousin offsets for a box of the given parity."""
+    if box_parity not in (0, 1):
+        raise ParameterError(f"box_parity must be 0 or 1, got {box_parity!r}")
+    return COUSINS_EVEN if box_parity == 0 else COUSINS_ODD
+
+
+def base_offsets(B: int) -> tuple[int, ...]:
+    """All non-neighbour offsets at the base level: s = 2 .. 2^B - 2."""
+    check_range("B", B, 2, None)
+    return tuple(range(2, (1 << B) - 1))
+
+
+def interaction_list(level: int, box: int) -> list[int]:
+    """Cousin boxes (cyclic indices) of ``box`` at a hierarchical level."""
+    nb = 1 << level
+    if nb < 8:
+        raise ParameterError(
+            f"cousin lists require >= 8 boxes per level (level {level} has {nb}); "
+            "levels at or below the base are handled densely"
+        )
+    return [(box + s) % nb for s in cousin_offsets(box % 2)]
+
+
+def base_interaction_list(B: int, box: int) -> list[int]:
+    """All non-neighbour boxes (cyclic) of ``box`` at the base level."""
+    nb = 1 << B
+    return [(box + s) % nb for s in base_offsets(B)]
+
+
+def coverage_map(L: int, B: int) -> Counter:
+    """Count how many times each ordered leaf pair (target, source) is
+    covered by {S2T near field} + {M2L levels B+1..L} + {dense base M2L}.
+
+    A correct scheme returns a counter where every pair maps to exactly
+    1; tests assert this for many (L, B).
+    """
+    check_range("B", B, 2, L)
+    nleaf = 1 << L
+    cover: Counter = Counter()
+    # near field at the leaves
+    for b in range(nleaf):
+        for s in NEAR_OFFSETS:
+            cover[(b, (b + s) % nleaf)] += 1
+    # hierarchical cousins: a level-ell pair covers all leaf descendants
+    for ell in range(L, B, -1):
+        shift = L - ell
+        for tb in range(1 << ell):
+            for sb in interaction_list(ell, tb):
+                for t in range(tb << shift, (tb + 1) << shift):
+                    for s in range(sb << shift, (sb + 1) << shift):
+                        cover[(t, s)] += 1
+    # dense base level
+    shift = L - B
+    for tb in range(1 << B):
+        for sb in base_interaction_list(B, tb):
+            for t in range(tb << shift, (tb + 1) << shift):
+                for s in range(sb << shift, (sb + 1) << shift):
+                    cover[(t, s)] += 1
+    return cover

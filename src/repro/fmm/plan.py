@@ -1,0 +1,153 @@
+"""Precomputed operator bundle for a batch of P-1 FMMs.
+
+:class:`FmmOperators` builds every Section 4 operator once for a given
+``(M, P, M_L, B, Q)`` and precision, in the layout the executors consume
+(transposed for right-multiplication where that saves a transpose per
+apply).  Operators are real; the C-factor accounting for complex inputs
+happens at launch-costing time, exactly as the paper's Section 5 flop
+counts prescribe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fmm import operators as ops
+from repro.fmm.tree import Tree1D
+from repro.util.validation import ParameterError, check_positive, real_dtype_for
+
+
+@dataclass(frozen=True)
+class FmmGeometry:
+    """Shape-only description of a batch of P-1 FMMs.
+
+    Sufficient for cost accounting and communication sizing; carries no
+    operator arrays, so it is cheap at any scale (timing-only sweeps at
+    N = 2^27+ use it without allocating gigabytes of operators).
+    """
+
+    tree: Tree1D
+    P: int
+    Q: int
+    N: int
+
+    @classmethod
+    def create(cls, M: int, P: int, ML: int, B: int, Q: int, G: int = 1) -> "FmmGeometry":
+        check_positive("Q", Q)
+        if P < 2:
+            raise ParameterError(f"P must be >= 2 (P-1 FMMs), got {P}")
+        return cls(tree=Tree1D(M=M, ML=ML, B=B, G=G), P=P, Q=Q, N=M * P)
+
+    @property
+    def M(self) -> int:
+        return self.tree.M
+
+    @property
+    def ML(self) -> int:
+        return self.tree.ML
+
+    @property
+    def L(self) -> int:
+        return self.tree.L
+
+    @property
+    def B(self) -> int:
+        return self.tree.B
+
+
+@dataclass(frozen=True)
+class FmmOperators:
+    """All dense operators for P-1 interleaved periodic FMMs of size M.
+
+    Build with :meth:`create`; fields are ready-to-matmul arrays.
+    """
+
+    tree: Tree1D
+    P: int
+    Q: int
+    N: int
+    real_dtype: np.dtype
+    s2m: np.ndarray          # (Q, ML)
+    m2m: np.ndarray          # (Q, 2Q)
+    m2l_level: dict          # level -> (P-1, 2, 3, Q, Q)
+    m2l_base: np.ndarray     # (P-1, 2^B-3, Q, Q)
+    s2t: np.ndarray          # (P-1, ML, 3ML)
+    rho: np.ndarray          # (P-1,) complex
+
+    @classmethod
+    def create(
+        cls,
+        M: int,
+        P: int,
+        ML: int,
+        B: int,
+        Q: int,
+        dtype="complex128",
+        G: int = 1,
+    ) -> "FmmOperators":
+        """Build operators for the FMM-FFT's kernels ``C~_p``, p=1..P-1.
+
+        ``N = M * P`` fixes the kernel shift ``pi p / N``.  Operators are
+        computed in float64 and narrowed to the working precision.
+        """
+        check_positive("Q", Q)
+        if P < 2:
+            raise ParameterError(f"P must be >= 2 (P-1 FMMs), got {P}")
+        tree = Tree1D(M=M, ML=ML, B=B, G=G)
+        N = M * P
+        rdt = real_dtype_for(dtype)
+        cdt = np.complex64 if rdt == np.float32 else np.complex128
+        m2l_level = {
+            ell: ops.m2l_level_tensor(ell, P, Q, N).astype(rdt)
+            for ell in tree.levels_m2l()
+        }
+        return cls(
+            tree=tree,
+            P=P,
+            Q=Q,
+            N=N,
+            real_dtype=np.dtype(rdt),
+            s2m=ops.s2m_matrix(Q, ML).astype(rdt),
+            m2m=ops.m2m_matrix(Q).astype(rdt),
+            m2l_level=m2l_level,
+            m2l_base=ops.m2l_base_tensor(B, P, Q, N).astype(rdt),
+            s2t=ops.s2t_matrix(P, ML, N).astype(rdt),
+            rho=ops.rho_factors(P, M).astype(cdt),
+        )
+
+    @property
+    def M(self) -> int:
+        return self.tree.M
+
+    @property
+    def ML(self) -> int:
+        return self.tree.ML
+
+    @property
+    def L(self) -> int:
+        return self.tree.L
+
+    @property
+    def B(self) -> int:
+        return self.tree.B
+
+    @property
+    def geometry(self) -> FmmGeometry:
+        """The shape-only view of this operator bundle."""
+        return FmmGeometry(tree=self.tree, P=self.P, Q=self.Q, N=self.N)
+
+    def operator_bytes(self) -> int:
+        """Total storage of the precomputed operators (Section 5.3 notes
+        the S2T/M2L operators are generated on the fly on GPU; storing
+        them is the CPU-side trade-off, exposed for the ablation)."""
+        total = (
+            self.s2m.nbytes
+            + self.m2m.nbytes
+            + self.m2l_base.nbytes
+            + self.s2t.nbytes
+            + self.rho.nbytes
+        )
+        total += sum(a.nbytes for a in self.m2l_level.values())
+        return total

@@ -1,0 +1,62 @@
+"""Dense O(M^2) reference for the cotangent kernels — the FMM oracle.
+
+Builds ``[C~_p]_{mn} = cot(pi/M (n - m) + pi p / N)`` explicitly and
+applies it by plain matrix multiplication.  Used by tests to measure FMM
+approximation error and by the core package to validate the full
+Fourier-matrix factorization at small N.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm.operators import cot, rho_factors
+from repro.util.validation import ParameterError, check_positive
+
+
+def dense_kernel_matrix(M: int, P: int, p: int, with_rho: bool = False) -> np.ndarray:
+    """The M x M matrix ``C~_p`` (or the full ``C_p`` with ``with_rho``).
+
+    ``C_p = rho_p (C~_p + i * ones)`` per Section 3; ``p = 0`` returns
+    the identity.
+    """
+    check_positive("M", M)
+    if not 0 <= p < P:
+        raise ParameterError(f"p must be in [0, {P}), got {p}")
+    if p == 0:
+        return np.eye(M, dtype=np.complex128 if with_rho else np.float64)
+    N = M * P
+    m = np.arange(M)[:, None]
+    n = np.arange(M)[None, :]
+    ctil = cot(np.pi / M * (n - m) + np.pi * p / N)
+    if not with_rho:
+        return ctil
+    rho = rho_factors(P, M)[p - 1]
+    return rho * (ctil + 1j)
+
+
+def dense_apply(x: np.ndarray, M: int, P: int, p: int, with_rho: bool = False) -> np.ndarray:
+    """Apply ``C~_p`` (or ``C_p``) to a length-M vector or (..., M) batch."""
+    x = np.asarray(x)
+    if x.shape[-1] != M:
+        raise ParameterError(f"last axis must have length {M}, got {x.shape}")
+    C = dense_kernel_matrix(M, P, p, with_rho=with_rho)
+    return x @ C.T
+
+
+def dense_apply_all(S: np.ndarray, M: int, P: int) -> tuple[np.ndarray, np.ndarray]:
+    """Apply all P-1 kernels ``C~_p`` densely to ``S`` of shape (P, M).
+
+    Returns ``(T, r)`` exactly as :class:`~repro.fmm.batched.BatchedFMM`
+    does: ``T[0] = S[0]`` and ``T[p] = C~_p S[p]`` for p >= 1, plus the
+    row sums ``r[p-1] = sum_m S[p, m]``.
+    """
+    S = np.asarray(S)
+    if S.shape != (P, M):
+        raise ParameterError(f"S must have shape ({P}, {M}), got {S.shape}")
+    T = np.empty_like(S, dtype=np.result_type(S.dtype, np.float64))
+    T[0] = S[0]
+    for p in range(1, P):
+        T[p] = dense_apply(S[p], M, P, p)
+    r = S[1:].sum(axis=1)
+    return T, r

@@ -1,0 +1,133 @@
+"""Operator symmetries (the paper's Section 7 "further optimizations").
+
+"Further optimizations include exploiting additional symmetries of the
+operators M2L, S2T, M2M, and S2M to further reduce memory requirements
+and floating point operations."  This module derives and implements
+those symmetries:
+
+**Transpose sharing** (structural, already used by the executors):
+``L2T = S2M^T`` and ``L2L = M2M^T`` — the downward operators are free.
+
+**Child mirror** — with first-kind Chebyshev nodes, ``z_{Q-1-k} = -z_k``
+and ``ell_{Q-1-q}(-z) = ell_q(z)``, so the right-child translation is
+the double flip of the left child::
+
+    M2M+ = J  M2M-  J        (J = reversal/exchange matrix)
+
+one child operator determines both.
+
+**S2T kernel reversal** — from ``cot(-x) = -cot(x)``::
+
+    S2T_{P-p}(k) = -S2T_p(-(k+1))
+
+so only the kernels ``p <= P/2`` need generating; the rest are negated
+reversals.  This halves the dominant on-the-fly operator generation.
+
+**M2L persymmetry** — the same node mirror gives, for every kernel p,
+level, and shift s::
+
+    K[Q-1-i, Q-1-j] = K[j, i]      (J K^T J = K)
+
+halving the unique entries of every M2L block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm import operators as ops
+from repro.util.validation import ParameterError, check_positive
+
+
+def exchange_matrix(Q: int) -> np.ndarray:
+    """The reversal (exchange) matrix J of size Q."""
+    check_positive("Q", Q)
+    return np.eye(Q)[::-1]
+
+
+def m2m_plus_from_minus(m2m_minus: np.ndarray) -> np.ndarray:
+    """Recover M2M+ from M2M- via the child mirror: ``J M2M- J``."""
+    return m2m_minus[::-1, ::-1]
+
+
+def m2m_matrix_symmetric(Q: int) -> np.ndarray:
+    """Build [M2M- | M2M+] generating only the left-child half."""
+    zq = ops.cheb_points(Q) if hasattr(ops, "cheb_points") else None
+    from repro.fmm.chebyshev import cheb_points, lagrange_eval
+
+    minus = lagrange_eval(Q, (cheb_points(Q) - 1.0) / 2.0)
+    return np.hstack([minus, m2m_plus_from_minus(minus)])
+
+
+def s2t_lags_half(P: int, ML: int, N: int) -> np.ndarray:
+    """Generate the Toeplitz lag vectors only for p = 1..floor(P/2)."""
+    p = np.arange(1, P // 2 + 1, dtype=np.float64)
+    k = np.arange(-(2 * ML - 1), 2 * ML, dtype=np.float64)
+    return ops.cot(np.pi * (p[:, None] + P * k[None, :]) / N)
+
+
+def s2t_lags_from_half(P: int, ML: int, N: int) -> np.ndarray:
+    """Rebuild all P-1 lag vectors from the half set via the reversal.
+
+    ``S2T_{P-p}(k) = -S2T_p(-(k+1))``: with lag index ``k`` stored at
+    column ``k + (2 ML - 1)``, the reversal maps column ``c`` to column
+    ``len - 2 - c`` — a flip dropping the last column and prepending the
+    (regenerated) extreme lag, which we obtain by cyclic identity
+    ``cot(pi (p + P k)/N)`` at ``k = -(2ML-1)`` for the mirrored p.
+    """
+    if P < 2:
+        raise ParameterError(f"P must be >= 2, got {P}")
+    half = s2t_lags_half(P, ML, N)
+    nlag = 4 * ML - 1
+    out = np.empty((P - 1, nlag))
+    for p in range(1, P):
+        if p <= P // 2:
+            out[p - 1] = half[p - 1]
+        else:
+            src = half[(P - p) - 1]
+            # S2T_p(k) = -S2T_{P-p}(-(k+1)); column of lag k is k+2ML-1,
+            # so lag -(k+1) sits at column (2ML-2) - k' where k' = k + 2ML-1
+            mirrored = -src[::-1]           # lag k -> -k
+            out[p - 1, : nlag - 1] = mirrored[1:]   # shift by one lag
+            # the single missing extreme lag k = 2ML-1 wraps to the
+            # mirrored kernel's lag -(2ML) which we generate directly
+            out[p - 1, nlag - 1] = ops.cot(np.pi * (p + P * (2 * ML - 1)) / N)
+    return out
+
+
+def m2l_is_persymmetric(K: np.ndarray, atol: float = 1e-12) -> bool:
+    """Check ``J K^T J == K`` on the trailing two axes of an M2L stack."""
+    Kt = np.swapaxes(K, -1, -2)[..., ::-1, ::-1]
+    return bool(np.allclose(Kt, K, atol=atol))
+
+
+def m2l_unique_entries(Q: int) -> int:
+    """Unique entries of a persymmetric Q x Q block: ceil(Q^2 / 2) + Q/2-ish.
+
+    Entries pair up under (i, j) <-> (Q-1-j, Q-1-i); fixed points lie on
+    the anti-diagonal (Q of them), giving (Q^2 + Q) / 2 unique values.
+    """
+    check_positive("Q", Q)
+    return (Q * Q + Q) // 2
+
+
+def operator_storage_savings(P: int, ML: int, Q: int, levels: int) -> dict[str, float]:
+    """Bytes saved by the symmetries for one operator set (float64).
+
+    Returns per-symmetry savings and the total fraction.
+    """
+    full = dict(
+        s2t=(P - 1) * ML * 3 * ML * 8.0,
+        m2m_l2l=2 * (2 * Q * Q) * 8.0,
+        l2t=ML * Q * 8.0,
+        m2l=levels * (P - 1) * 2 * 3 * Q * Q * 8.0,
+    )
+    saved = dict(
+        s2t=full["s2t"] * ((P - 1 - P // 2) / max(P - 1, 1)),
+        m2m_l2l=full["m2m_l2l"] * 0.75,   # one QxQ block generates four
+        l2t=full["l2t"],                   # transpose of S2M
+        m2l=full["m2l"] * (1 - m2l_unique_entries(Q) / (Q * Q)),
+    )
+    total_full = sum(full.values())
+    saved["total_fraction"] = sum(v for k, v in saved.items()) / total_full
+    return saved

@@ -1,0 +1,116 @@
+"""The uniform periodic binary tree of the 1D FMMs.
+
+Each of the P-1 FMMs acts on M points (the integers 0..M-1) partitioned
+into ``2^L`` leaf boxes of ``M_L = M / 2^L`` points.  Levels run from
+the leaves (ell = L, finest) down to the *base* level (ell = B,
+coarsest used): the paper's B >= 2 generalization replaces the top of
+the tree with one dense all-non-neighbours M2L at level B plus an
+all-to-all gather of base multipoles (Section 4.7).
+
+Distribution: device g owns the contiguous box range
+``[g * 2^ell / G, (g+1) * 2^ell / G)`` at every level; requiring
+``G | 2^B`` guarantees each device owns at least one box at every level
+it participates in, and makes ancestor/descendant box ranges align so
+M2M/L2L never communicate (only M2L halos and the base gather do, as in
+Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.bitmath import ilog2
+from repro.util.validation import ParameterError, check_multiple, check_pow2, check_range
+
+
+@dataclass(frozen=True)
+class Tree1D:
+    """Geometry of one (equivalently, all P-1 batched) FMM tree(s).
+
+    Parameters
+    ----------
+    M:
+        Points per FMM (power of two).
+    ML:
+        Points per leaf box.
+    B:
+        Base (coarsest) level, >= 2.
+    G:
+        Device count (1 for single-device use).
+    """
+
+    M: int
+    ML: int
+    B: int
+    G: int = 1
+
+    def __post_init__(self):
+        check_pow2("M", self.M)
+        check_pow2("ML", self.ML)
+        check_pow2("G", self.G)
+        if self.ML > self.M:
+            raise ParameterError(f"ML={self.ML} cannot exceed M={self.M}")
+        L = ilog2(self.M // self.ML)
+        check_range("B", self.B, 2, L)
+        check_multiple("2^B", 1 << self.B, self.G, "G")
+
+    @property
+    def L(self) -> int:
+        """Leaf level: ``2^L`` leaf boxes."""
+        return ilog2(self.M // self.ML)
+
+    @property
+    def num_leaves(self) -> int:
+        return 1 << self.L
+
+    def boxes_at(self, level: int) -> int:
+        """Number of boxes at a level."""
+        check_range("level", level, self.B, self.L)
+        return 1 << level
+
+    def levels_m2m(self) -> list[int]:
+        """Levels at which M2M runs (computing level ell from ell+1):
+        ell = L-1, ..., B (empty when L == B)."""
+        return list(range(self.L - 1, self.B - 1, -1))
+
+    def levels_m2l(self) -> list[int]:
+        """Levels with cousin-list M2L: ell = L, ..., B+1 (finest first).
+
+        The base level is handled densely instead; with B >= 2 the
+        cousin levels satisfy ``2^ell >= 8`` so the cyclic cousin
+        offsets {±2, ±3} never alias.
+        """
+        return list(range(self.L, self.B, -1))
+
+    def levels_l2l(self) -> list[int]:
+        """Levels at which L2L runs (pushing level ell into ell+1):
+        ell = B, ..., L-1."""
+        return list(range(self.B, self.L))
+
+    # -- distribution -----------------------------------------------------
+
+    def boxes_local(self, level: int) -> int:
+        """Boxes per device at a level."""
+        return self.boxes_at(level) // self.G
+
+    def box_range(self, level: int, g: int) -> tuple[int, int]:
+        """Global [start, stop) box indices device g owns at a level."""
+        if not 0 <= g < self.G:
+            raise ParameterError(f"device {g} out of range for G={self.G}")
+        nb = self.boxes_local(level)
+        return (g * nb, (g + 1) * nb)
+
+    def owner_of(self, level: int, box: int) -> int:
+        """Device owning a (cyclically wrapped) box index."""
+        nb = self.boxes_at(level)
+        return (box % nb) // self.boxes_local(level)
+
+    #: halo width (boxes per side) the S2T near field needs
+    S_HALO = 1
+    #: halo width (boxes per side) the cousin-list M2L needs
+    M_HALO = 2
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Tree1D(M={self.M}, ML={self.ML}, L={self.L}, B={self.B}, G={self.G})"
+        )

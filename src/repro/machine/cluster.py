@@ -1,0 +1,268 @@
+"""The virtual cluster execution engine.
+
+:class:`VirtualCluster` is what every distributed algorithm in the
+library runs on.  It provides:
+
+- ``launch`` — enqueue a compute kernel on a device stream; simulated
+  duration comes from the roofline (Eq. 3) + launch latency, and the
+  optional ``fn`` performs the *real* NumPy computation on the device's
+  memory dict.
+- ``sendrecv`` — point-to-point transfer occupying both endpoints' comm
+  streams (halo exchanges).
+- ``alltoall`` / ``allgather`` — collectives costed with the topology's
+  effective bandwidth; ``alltoall`` supports chunking so transposes can
+  pipeline against local compute, as cuFFTXT does.
+- events/streams — explicit dependencies, so overlap is expressed the
+  same way the paper's CUDA implementation expresses it.
+
+Orchestration is sequential Python: the coordinator issues ops in a
+valid serialization order, ``fn`` closures run immediately (so data is
+always ready), and the event algebra reconstructs what the *parallel*
+timeline would have been.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.machine.device import Device
+from repro.machine.ledger import Ledger, OpRecord
+from repro.machine.roofline import op_time
+from repro.machine.spec import ClusterSpec
+from repro.machine.stream import Event
+from repro.machine.trace import ExecutionTrace
+from repro.util.validation import ParameterError
+
+
+class VirtualCluster:
+    """G simulated devices wired by an interconnect graph.
+
+    Parameters
+    ----------
+    spec:
+        The node description (devices + topology).
+    execute:
+        True runs real NumPy compute alongside the timing simulation;
+        False records timing only (shape-determined), enabling sweeps at
+        sizes where Python-side numerics would be prohibitive.
+    """
+
+    def __init__(self, spec: ClusterSpec, execute: bool = True):
+        self.spec = spec
+        self.execute = execute
+        self.devices = [
+            Device(g, spec.device, execute=execute) for g in range(spec.num_devices)
+        ]
+        self.ledger = Ledger()
+        self._a2a_bw = spec.alltoall_bandwidth() if spec.num_devices > 1 else None
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def G(self) -> int:
+        return self.spec.num_devices
+
+    def dev(self, g: int) -> Device:
+        return self.devices[g]
+
+    def wall_time(self) -> float:
+        """Latest clock across all streams of all devices."""
+        return max(d.max_clock() for d in self.devices)
+
+    def reset_time(self) -> None:
+        """Zero all stream clocks and clear the ledger (memory persists)."""
+        for d in self.devices:
+            d.reset_time()
+        self.ledger = Ledger()
+
+    def trace(self) -> ExecutionTrace:
+        return ExecutionTrace(self.ledger, self.spec)
+
+    # -- compute -------------------------------------------------------
+
+    def launch(
+        self,
+        g: int,
+        name: str,
+        kind: str,
+        flops: float,
+        mops: float,
+        dtype,
+        stream: str = "compute",
+        after: Sequence[Event] = (),
+        fn: Callable[["VirtualCluster"], None] | None = None,
+    ) -> Event:
+        """Enqueue one kernel on device ``g``.
+
+        Returns the completion :class:`Event`.  ``fn(cluster)`` runs
+        immediately when executing; its cost is *not* measured — the
+        simulated duration is the roofline time plus launch latency.
+        """
+        dev = self.devices[g]
+        st = dev.stream(stream)
+        start = st.ready_after(*after)
+        dur = dev.spec.launch_latency + op_time(dev.spec, flops, mops, dtype, kind=kind)
+        self.ledger.append(
+            OpRecord(
+                device=g, stream=stream, kind=kind, name=name,
+                start=start, duration=dur, flops=flops, mops=mops,
+            )
+        )
+        if fn is not None and self.execute:
+            fn(self)
+        return st.advance_to(start + dur)
+
+    def host_op(self, g: int, name: str, fn: Callable[["VirtualCluster"], None] | None = None) -> Event:
+        """Zero-cost bookkeeping op (plan setup, pointer swaps)."""
+        dev = self.devices[g]
+        st = dev.stream("compute")
+        self.ledger.append(
+            OpRecord(device=g, stream="compute", kind="host", name=name,
+                     start=st.clock, duration=0.0)
+        )
+        if fn is not None and self.execute:
+            fn(self)
+        return Event(st.clock, name)
+
+    # -- point-to-point communication -----------------------------------
+
+    def sendrecv(
+        self,
+        src: int,
+        dst: int,
+        nbytes: float,
+        name: str,
+        after: Sequence[Event] = (),
+        fn: Callable[["VirtualCluster"], None] | None = None,
+    ) -> Event:
+        """P2P transfer src -> dst on both comm streams.
+
+        On a single-device cluster this is free (and ``fn`` still runs,
+        so G=1 degenerates correctly).
+        """
+        if src == dst or self.G == 1:
+            if fn is not None and self.execute:
+                fn(self)
+            st = self.devices[src].stream("comm.tx")
+            return Event(st.ready_after(*after), name)
+        # Links are full duplex: the sender's tx engine and the receiver's
+        # rx engine are occupied, so a ring shift (every device one send +
+        # one receive) proceeds fully in parallel, as on real NVLink.
+        s_st = self.devices[src].stream("comm.tx")
+        d_st = self.devices[dst].stream("comm.rx")
+        start = max(s_st.ready_after(*after), d_st.ready_after(*after))
+        link_lat = self.spec.comm_latency()
+        bw = self.spec.pair_bandwidth(src, dst)
+        dur = link_lat + nbytes / bw
+        self.ledger.append(
+            OpRecord(device=src, stream="comm", kind="comm", name=name,
+                     start=start, duration=dur, comm_bytes=nbytes, peer=dst)
+        )
+        if fn is not None and self.execute:
+            fn(self)
+        s_st.advance_to(start + dur)
+        return d_st.advance_to(start + dur)
+
+    # -- collectives -----------------------------------------------------
+
+    def _collective(
+        self,
+        name: str,
+        bytes_per_device: float,
+        after: Sequence[Event],
+        fn: Callable[["VirtualCluster"], None] | None,
+    ) -> list[Event]:
+        """Shared costing for alltoall/allgather.
+
+        All devices' comm streams synchronize at the start (it is a
+        collective), proceed at the topology's effective all-to-all
+        bandwidth, and finish together.
+        """
+        if self.G == 1:
+            if fn is not None and self.execute:
+                fn(self)
+            st = self.devices[0].stream("comm.tx")
+            return [Event(st.ready_after(*after), name)]
+        # A collective saturates both directions on every device.
+        tx = [d.stream("comm.tx") for d in self.devices]
+        rx = [d.stream("comm.rx") for d in self.devices]
+        start = max(st.ready_after(*after) for st in tx + rx)
+        # The G-1 per-peer messages ride distinct links concurrently, so
+        # one message latency is paid per collective call, not per peer —
+        # plus the host-side synchronization cost of coordinating it.
+        lat = self.spec.comm_latency() + self.spec.collective_overhead
+        dur = lat + bytes_per_device / self._a2a_bw
+        for g in range(self.G):
+            self.ledger.append(
+                OpRecord(device=g, stream="comm", kind="comm", name=name,
+                         start=start, duration=dur, comm_bytes=bytes_per_device)
+            )
+        if fn is not None and self.execute:
+            fn(self)
+        out = []
+        for g in range(self.G):
+            tx[g].advance_to(start + dur)
+            out.append(rx[g].advance_to(start + dur))
+        return out
+
+    def alltoall(
+        self,
+        bytes_sent_per_device: float,
+        name: str,
+        after: Sequence[Event] = (),
+        fn: Callable[["VirtualCluster"], None] | None = None,
+    ) -> list[Event]:
+        """Personalized all-to-all: each device sends ``bytes_sent_per_device``
+        total, split evenly over the other G-1 devices.
+
+        Returns one completion event per device.
+        """
+        return self._collective(name, bytes_sent_per_device, after, fn)
+
+    def allgather(
+        self,
+        bytes_per_device: float,
+        name: str,
+        after: Sequence[Event] = (),
+        fn: Callable[["VirtualCluster"], None] | None = None,
+    ) -> list[Event]:
+        """Allgather: each device contributes ``bytes_per_device`` and ends
+        with everyone's contribution.  Receive-side volume dominates:
+        ``(G-1) * bytes_per_device`` per device at all-to-all bandwidth.
+        """
+        return self._collective(
+            name, (self.G - 1) * bytes_per_device, after, fn
+        )
+
+    def barrier(self) -> Event:
+        """Synchronize every stream on every device to the global max."""
+        t = self.wall_time()
+        for d in self.devices:
+            for st in d.streams.values():
+                st.advance_to(t)
+        return Event(t, "barrier")
+
+    # -- memory helpers ---------------------------------------------------
+
+    def scatter_blocks(self, key: str, array: np.ndarray) -> None:
+        """Block-partition a 1D array over devices into buffer ``key``.
+
+        Used to stage input: device g receives the contiguous slice
+        ``array[g*n/G : (g+1)*n/G]``.  Requires execute mode.
+        """
+        n = array.shape[0]
+        if n % self.G != 0:
+            raise ParameterError(f"array length {n} not divisible by G={self.G}")
+        blk = n // self.G
+        for g, dev in enumerate(self.devices):
+            dev[key] = array[g * blk : (g + 1) * blk].copy()
+
+    def gather_blocks(self, key: str) -> np.ndarray:
+        """Concatenate buffer ``key`` from all devices (inverse of scatter)."""
+        return np.concatenate([dev[key] for dev in self.devices])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mode = "execute" if self.execute else "timing-only"
+        return f"VirtualCluster({self.spec.name}, G={self.G}, {mode})"

@@ -1,0 +1,84 @@
+"""A simulated device: streams plus a named-array memory space.
+
+The memory model is deliberately simple — a dict of named NumPy arrays —
+because the algorithms address buffers symbolically ('S', 'M10', 'T',
+...) exactly as the paper's tensors are named.  In timing-only mode the
+dict stays empty and only shapes are recorded, so N = 2^27 sweeps cost no
+allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.machine.spec import DeviceSpec
+from repro.machine.stream import Stream
+
+
+class Device:
+    """One simulated accelerator."""
+
+    #: streams every device starts with; more are created on demand.
+    #: comm.tx / comm.rx model the full-duplex DMA engines.
+    DEFAULT_STREAMS = ("compute", "comm.tx", "comm.rx")
+
+    def __init__(self, device_id: int, spec: DeviceSpec, execute: bool = True):
+        self.id = device_id
+        self.spec = spec
+        self.execute = execute
+        self.streams: dict[str, Stream] = {
+            name: Stream(device_id, name) for name in self.DEFAULT_STREAMS
+        }
+        self.memory: dict[str, np.ndarray] = {}
+        self.shapes: dict[str, tuple[tuple[int, ...], np.dtype]] = {}
+
+    def stream(self, name: str) -> Stream:
+        """Get (or lazily create) a stream by name."""
+        if name not in self.streams:
+            self.streams[name] = Stream(self.id, name)
+        return self.streams[name]
+
+    def alloc(self, key: str, shape: tuple[int, ...], dtype) -> None:
+        """Declare a buffer; zero-filled when executing."""
+        dt = np.dtype(dtype)
+        self.shapes[key] = (tuple(shape), dt)
+        if self.execute:
+            self.memory[key] = np.zeros(shape, dtype=dt)
+
+    def free(self, key: str) -> None:
+        """Drop a buffer (both the metadata and any real array)."""
+        self.shapes.pop(key, None)
+        self.memory.pop(key, None)
+
+    def __setitem__(self, key: str, value: np.ndarray) -> None:
+        value = np.asarray(value)
+        self.shapes[key] = (value.shape, value.dtype)
+        if self.execute:
+            self.memory[key] = value
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        if not self.execute:
+            raise RuntimeError(
+                f"device {self.id} is in timing-only mode; buffer {key!r} has no data"
+            )
+        return self.memory[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shapes
+
+    def nbytes(self, key: str) -> int:
+        """Size of a declared buffer in bytes."""
+        shape, dt = self.shapes[key]
+        n = 1
+        for s in shape:
+            n *= s
+        return n * dt.itemsize
+
+    def max_clock(self) -> float:
+        return max(s.clock for s in self.streams.values())
+
+    def reset_time(self) -> None:
+        for s in self.streams.values():
+            s.reset()

@@ -1,0 +1,157 @@
+"""Operation ledger: the simulator's profiling record.
+
+Every launch/copy/message the :class:`~repro.machine.cluster.VirtualCluster`
+issues appends one :class:`OpRecord`.  The ledger is the single source of
+truth for "measured" results: Figure 2's profile, Figure 4's per-kernel
+time fractions, Figure 5's efficiency ratios, and the cross-checks
+between simulated counts and the Section 5 closed-form model all read
+from it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+#: op kinds with distinct costing rules in the engine
+KINDS = ("gemm", "batched_gemm", "gemv", "custom", "fft", "copy", "comm", "host")
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One simulated operation.
+
+    Attributes
+    ----------
+    device:
+        Executing device id (for comm ops, the sender).
+    stream:
+        Stream name on the device ('compute', 'comm', ...).
+    kind:
+        One of :data:`KINDS`.
+    name:
+        Stage label ('S2M', 'M2L-B', 'transpose1', ...).
+    start, duration:
+        Simulated seconds.
+    flops:
+        Real floating-point operations performed.
+    mops:
+        Bytes moved through device memory.
+    comm_bytes:
+        Bytes sent over the interconnect (comm ops only).
+    peer:
+        Receiving device id for point-to-point comm, else -1.
+    """
+
+    device: int
+    stream: str
+    kind: str
+    name: str
+    start: float
+    duration: float
+    flops: float = 0.0
+    mops: float = 0.0
+    comm_bytes: float = 0.0
+    peer: int = -1
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+class Ledger:
+    """Append-only list of :class:`OpRecord` with aggregation helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[OpRecord] = []
+
+    def append(self, rec: OpRecord) -> None:
+        if rec.kind not in KINDS:
+            raise ValueError(f"unknown op kind {rec.kind!r}")
+        self._records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[OpRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        device: int | None = None,
+        kind: str | None = None,
+        name: str | None = None,
+        stream: str | None = None,
+    ) -> list[OpRecord]:
+        """Filter records by any combination of fields."""
+        out = []
+        for r in self._records:
+            if device is not None and r.device != device:
+                continue
+            if kind is not None and r.kind != kind:
+                continue
+            if name is not None and r.name != name:
+                continue
+            if stream is not None and r.stream != stream:
+                continue
+            out.append(r)
+        return out
+
+    # -- aggregates ----------------------------------------------------
+
+    def total(self, field_name: str, **filters) -> float:
+        """Sum a numeric field over filtered records."""
+        return sum(getattr(r, field_name) for r in self.records(**filters))
+
+    def time_by_name(self, device: int | None = None) -> dict[str, float]:
+        """Total duration per stage name (summed over devices/streams)."""
+        acc: dict[str, float] = defaultdict(float)
+        for r in self.records(device=device):
+            acc[r.name] += r.duration
+        return dict(acc)
+
+    def flops_by_name(self, device: int | None = None) -> dict[str, float]:
+        """Total flops per stage name."""
+        acc: dict[str, float] = defaultdict(float)
+        for r in self.records(device=device):
+            acc[r.name] += r.flops
+        return dict(acc)
+
+    def mops_by_name(self, device: int | None = None) -> dict[str, float]:
+        """Total memory bytes per stage name."""
+        acc: dict[str, float] = defaultdict(float)
+        for r in self.records(device=device):
+            acc[r.name] += r.mops
+        return dict(acc)
+
+    def comm_bytes_by_name(self, device: int | None = None) -> dict[str, float]:
+        """Total interconnect bytes per stage name."""
+        acc: dict[str, float] = defaultdict(float)
+        for r in self.records(device=device):
+            if r.comm_bytes:
+                acc[r.name] += r.comm_bytes
+        return dict(acc)
+
+    def launch_count(self, device: int | None = None, compute_only: bool = True) -> int:
+        """Number of kernel launches (excluding comm/host by default)."""
+        n = 0
+        for r in self.records(device=device):
+            if compute_only and r.kind in ("comm", "host"):
+                continue
+            n += 1
+        return n
+
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all records."""
+        if not self._records:
+            return (0.0, 0.0)
+        return (
+            min(r.start for r in self._records),
+            max(r.end for r in self._records),
+        )
+
+    def merge(self, other: "Ledger") -> None:
+        """Append all records from another ledger (multi-phase runs)."""
+        self._records.extend(other._records)

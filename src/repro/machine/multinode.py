@@ -1,0 +1,77 @@
+"""Multi-node clusters — the paper's Section 7 extension.
+
+"Extending the results to multiple nodes is necessary ... the
+performance on multiple nodes is very likely to improve relative
+performance and energy efficiency due to higher internode communication
+costs."
+
+A multi-node spec groups devices into nodes: intra-node pairs keep
+their NVLink edges; inter-node pairs have no edge and share the node's
+NIC (modeled like the DGX-1's PCIe fallback, but with the additional
+constraint that *all* of a node's off-node traffic serializes through
+one NIC).  The all-to-all analysis in :mod:`repro.machine.topology`
+detects the ``node_of`` annotation and applies the per-node NIC
+bottleneck, which is what makes the transpose-bound 1D FFT collapse —
+and the FMM-FFT's advantage grow — as nodes are added.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from repro.machine import topology as topo
+from repro.machine.spec import ClusterSpec, DeviceSpec, LinkSpec, NVLINK_P100_LINK, P100
+from repro.util.validation import ParameterError, check_positive
+
+#: A 100 Gb/s-class fabric (4x EDR InfiniBand), achieved.
+DEFAULT_NIC = LinkSpec(bandwidth=10e9, latency=2e-6)
+#: MPI-level latency for inter-node messages.
+DEFAULT_NIC_LATENCY = 3e-6
+
+
+def multinode_graph(
+    nodes: int,
+    gpus_per_node: int,
+    intra_link: LinkSpec,
+    nic: LinkSpec,
+) -> nx.Graph:
+    """Fully-connected NVLink islands joined only through per-node NICs."""
+    check_positive("nodes", nodes)
+    check_positive("gpus_per_node", gpus_per_node)
+    G = nodes * gpus_per_node
+    g = nx.Graph()
+    g.add_nodes_from(range(G))
+    node_of = {}
+    for n in range(nodes):
+        devs = range(n * gpus_per_node, (n + 1) * gpus_per_node)
+        for d in devs:
+            node_of[d] = n
+        for a, b in itertools.combinations(devs, 2):
+            g.add_edge(a, b, link=intra_link)
+    g.graph["fallback_link"] = nic
+    g.graph["node_of"] = node_of
+    g.graph["gpus_per_node"] = gpus_per_node
+    return g
+
+
+def multinode_p100(
+    nodes: int,
+    gpus_per_node: int = 4,
+    nic: LinkSpec = DEFAULT_NIC,
+    device: DeviceSpec = P100,
+    intra_link: LinkSpec = NVLINK_P100_LINK,
+) -> ClusterSpec:
+    """N nodes of NVLink-connected P100s joined by an InfiniBand fabric."""
+    if nodes < 1:
+        raise ParameterError(f"nodes must be >= 1, got {nodes}")
+    graph = multinode_graph(nodes, gpus_per_node, intra_link, nic)
+    return ClusterSpec(
+        device=device,
+        num_devices=nodes * gpus_per_node,
+        graph=graph,
+        name=f"{nodes}x{gpus_per_node}xP100, IB",
+        # cross-node collectives involve MPI on top of device sync
+        collective_overhead=60e-6 * max(nodes, 1),
+    )

@@ -1,0 +1,59 @@
+"""CUDA-like streams and events for the simulated timeline.
+
+A :class:`Stream` is an in-order queue on one device: each enqueued op
+starts no earlier than the previous op on the same stream.  An
+:class:`Event` marks a point in simulated time; ops on other streams (or
+devices) can be made to wait on it, which is how the algorithms express
+compute/communication overlap — e.g. Algorithm 1 launches S2M on the
+compute stream while the S-halo exchange proceeds on the comm stream,
+and S2T waits on the halo's event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """A completion timestamp in the simulated timeline."""
+
+    time: float
+    label: str = ""
+
+    @staticmethod
+    def zero() -> "Event":
+        return Event(0.0, "t0")
+
+
+class Stream:
+    """An in-order execution queue with a running clock."""
+
+    def __init__(self, device: int, name: str):
+        self.device = device
+        self.name = name
+        self.clock = 0.0
+
+    def ready_after(self, *events: Event) -> float:
+        """Earliest start respecting stream order and the given events."""
+        t = self.clock
+        for ev in events:
+            if ev is not None and ev.time > t:
+                t = ev.time
+        return t
+
+    def advance_to(self, t: float) -> Event:
+        """Move the clock to ``t`` (monotone) and return an event for it."""
+        if t < self.clock:
+            raise ValueError(
+                f"stream {self.name}@dev{self.device} cannot rewind "
+                f"{self.clock} -> {t}"
+            )
+        self.clock = t
+        return Event(t, f"{self.name}@dev{self.device}")
+
+    def reset(self) -> None:
+        self.clock = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Stream(dev={self.device}, {self.name!r}, t={self.clock:.3e})"

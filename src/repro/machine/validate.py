@@ -1,0 +1,105 @@
+"""Schedule auditing: invariants every simulated run must satisfy.
+
+The event-based engine is only trustworthy if its schedules are
+physically realizable.  :func:`audit_schedule` checks a ledger for:
+
+- **stream exclusivity** — no two ops overlap on the same
+  (device, stream) pair (comm ops are checked on the tx/rx engines of
+  their endpoints);
+- **monotone issue order** — ops on a stream start in non-decreasing
+  order;
+- **non-negative durations** and finite timestamps;
+- **collective coherence** — all G records of a collective share one
+  start and one duration.
+
+Tests run the auditor over every pipeline (including hypothesis-driven
+random programs); libraries embedding the simulator can call it as a
+debug assertion.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import math
+
+from repro.machine.ledger import Ledger
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a schedule audit."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.ok:
+            return "AuditReport(ok)"
+        return "AuditReport:\n  " + "\n  ".join(self.violations)
+
+
+#: tolerance for float comparisons of timestamps
+_EPS = 1e-12
+
+
+def audit_schedule(ledger: Ledger) -> AuditReport:
+    """Check a run's ledger against the physical-schedule invariants."""
+    report = AuditReport()
+    per_stream: dict[tuple[int, str], list] = defaultdict(list)
+    collectives: dict[tuple[str, float], list] = defaultdict(list)
+
+    for i, r in enumerate(ledger):
+        if not (math.isfinite(r.start) and math.isfinite(r.duration)):
+            report.violations.append(f"op {i} ({r.name}) has non-finite times")
+            continue
+        if r.duration < 0:
+            report.violations.append(f"op {i} ({r.name}) has negative duration")
+        if r.start < -_EPS:
+            report.violations.append(f"op {i} ({r.name}) starts before t=0")
+        if r.kind == "comm":
+            if r.peer >= 0:
+                per_stream[(r.device, "comm.tx")].append((r.start, r.end, r.name, i))
+                per_stream[(r.peer, "comm.rx")].append((r.start, r.end, r.name, i))
+            else:
+                # collective: occupies both engines on its device
+                per_stream[(r.device, "comm.tx")].append((r.start, r.end, r.name, i))
+                per_stream[(r.device, "comm.rx")].append((r.start, r.end, r.name, i))
+                collectives[(r.name, round(r.start, 15))].append(r)
+        else:
+            per_stream[(r.device, r.stream)].append((r.start, r.end, r.name, i))
+
+    for (dev, stream), ops in per_stream.items():
+        issue_order_end = -math.inf
+        prev_start = -math.inf
+        for (start, end, name, i) in ops:
+            if start < prev_start - _EPS:
+                report.violations.append(
+                    f"dev{dev}:{stream} op {i} ({name}) issued out of order "
+                    f"(start {start} < previous start {prev_start})"
+                )
+            if start < issue_order_end - _EPS:
+                report.violations.append(
+                    f"dev{dev}:{stream} op {i} ({name}) overlaps previous op "
+                    f"(start {start} < previous end {issue_order_end})"
+                )
+            prev_start = start
+            issue_order_end = max(issue_order_end, end)
+
+    for (name, _), recs in collectives.items():
+        durs = {round(r.duration, 15) for r in recs}
+        if len(durs) != 1:
+            report.violations.append(
+                f"collective {name!r} records disagree on duration: {sorted(durs)}"
+            )
+    return report
+
+
+def assert_valid_schedule(ledger: Ledger) -> None:
+    """Raise AssertionError with the violation list if the audit fails."""
+    report = audit_schedule(ledger)
+    assert report.ok, str(report)

@@ -1,0 +1,124 @@
+"""Energy model: the efficiency angle the paper motivates.
+
+The introduction argues that "compressed and dense algorithms of this
+type often harmoniously improve the energy-efficiency of the
+computations as well" [17], and the conclusion predicts multi-node
+energy wins "due to higher internode communication costs".  This module
+quantifies that: a ledger is priced with per-operation energy costs
+(representative Pascal-era figures):
+
+===============================  =========================
+component                        energy
+===============================  =========================
+double-precision flop            ~20 pJ
+byte through HBM2                ~40 pJ (~12 pJ/byte GDDR5 x ECC ...)
+byte over NVLink                 ~80 pJ
+byte over PCIe                   ~250 pJ
+byte over an IB NIC              ~500 pJ
+device idle (leakage + static)   ~75 W per GPU
+===============================  =========================
+
+The exact constants matter less than their ordering — moving a byte
+across the node costs an order of magnitude more than computing on it,
+which is why removing two of three all-to-alls saves energy even when
+it does not save time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.cluster import VirtualCluster
+from repro.machine.ledger import Ledger
+from repro.machine.spec import ClusterSpec
+from repro.util.validation import ParameterError, check_positive
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Per-operation energy costs, joules."""
+
+    per_flop: float = 20e-12
+    per_mem_byte: float = 40e-12
+    per_link_byte: float = 80e-12     # NVLink-class
+    per_fallback_byte: float = 250e-12  # PCIe / NIC class
+    idle_power: float = 75.0          # watts per device
+
+    def __post_init__(self):
+        for f in ("per_flop", "per_mem_byte", "per_link_byte",
+                  "per_fallback_byte", "idle_power"):
+            check_positive(f, getattr(self, f))
+
+
+#: Pascal-era defaults.
+PASCAL_ENERGY = EnergySpec()
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one simulated run, joules."""
+
+    compute: float
+    memory: float
+    communication: float
+    idle: float
+
+    @property
+    def dynamic(self) -> float:
+        return self.compute + self.memory + self.communication
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.idle
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"EnergyReport(total={self.total:.3f} J: compute={self.compute:.3f}, "
+            f"memory={self.memory:.3f}, comm={self.communication:.3f}, "
+            f"idle={self.idle:.3f})"
+        )
+
+
+def ledger_energy(
+    ledger: Ledger,
+    spec: ClusterSpec,
+    wall_time: float,
+    energy: EnergySpec = PASCAL_ENERGY,
+) -> EnergyReport:
+    """Price a run's ledger.
+
+    Communication bytes use the link-class cost when the topology is
+    all-NVLink and the fallback cost when any pair rides PCIe/NIC
+    (conservatively, the worst class present — per-message attribution
+    is not recorded in the ledger).
+    """
+    if wall_time < 0:
+        raise ParameterError(f"wall_time must be >= 0, got {wall_time}")
+    flops = sum(r.flops for r in ledger)
+    mem = sum(r.mops for r in ledger)
+    comm = sum(r.comm_bytes for r in ledger)
+    G = spec.num_devices
+    has_fallback = G > 1 and any((G - 1) > d for _, d in spec.graph.degree())
+    per_comm = energy.per_fallback_byte if has_fallback else energy.per_link_byte
+    if G == 2 and spec.pair_bandwidth(0, 1) < 20e9:
+        per_comm = energy.per_fallback_byte  # PCIe-linked pair
+    return EnergyReport(
+        compute=flops * energy.per_flop,
+        memory=mem * energy.per_mem_byte,
+        communication=comm * per_comm,
+        idle=energy.idle_power * G * wall_time,
+    )
+
+
+def run_energy(cluster: VirtualCluster, energy: EnergySpec = PASCAL_ENERGY) -> EnergyReport:
+    """Energy of everything a cluster has executed so far."""
+    return ledger_energy(cluster.ledger, cluster.spec, cluster.wall_time(), energy)
+
+
+def energy_ratio(baseline: EnergyReport, contender: EnergyReport) -> float:
+    """Baseline-to-contender total-energy ratio (> 1: contender wins)."""
+    if contender.total <= 0:
+        raise ParameterError("contender energy must be positive")
+    return baseline.total / contender.total

@@ -1,0 +1,76 @@
+"""Accuracy model: predicted FMM-FFT error as a function of Q.
+
+The paper sets the error "a priori regardless of the complexity or
+distribution of the input" by choosing Q (Section 2; Figure 9 bottom).
+Chebyshev interpolation of the cotangent kernel over well-separated
+boxes converges geometrically::
+
+    err(Q) ~ C0 * rho^Q        (until the machine-precision floor)
+
+The rate ``rho`` is set by the separation of the nearest cousin
+interaction (source box at >= 2 box widths, i.e. a Bernstein-ellipse
+parameter of about 2 + sqrt(3)); we use the empirically calibrated
+values below, which match the measured Figure 9 sweep to within a
+factor ~3 across Q = 2..18.
+
+:func:`choose_q` inverts the model: the smallest (even) Q meeting a
+target tolerance — "FFTs that produce less accurate results are then
+potentially faster by 1.5x" (Section 6.3.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.validation import ParameterError, real_dtype_for
+
+#: geometric convergence rate per unit Q (measured: ~0.165/step)
+ERROR_RATE = 0.165
+#: prefactor at Q = 0
+ERROR_PREFACTOR = 0.065
+#: relative-error floors from accumulated roundoff
+FLOOR = {np.dtype(np.float64): 7e-16, np.dtype(np.float32): 4e-8}
+
+
+def predicted_error(Q: int, dtype="complex128") -> float:
+    """Modeled relative l2 error of the full FMM-FFT at order Q."""
+    if Q < 1:
+        raise ParameterError(f"Q must be >= 1, got {Q}")
+    floor = FLOOR[np.dtype(real_dtype_for(dtype))]
+    return max(ERROR_PREFACTOR * ERROR_RATE**Q, floor)
+
+
+def choose_q(tolerance: float, dtype="complex128", even: bool = True) -> int:
+    """Smallest admissible Q with predicted error <= tolerance.
+
+    ``even=True`` (default) rounds up to an even order — the odd-even
+    staircase of Figure 9 means odd orders buy almost nothing.
+    Raises if the tolerance is below the precision floor.
+    """
+    if tolerance <= 0:
+        raise ParameterError(f"tolerance must be positive, got {tolerance}")
+    floor = FLOOR[np.dtype(real_dtype_for(dtype))]
+    if tolerance < floor:
+        raise ParameterError(
+            f"tolerance {tolerance:g} is below the {np.dtype(dtype).name} "
+            f"floor {floor:g}; use a higher precision"
+        )
+    q = math.ceil(math.log(tolerance / ERROR_PREFACTOR) / math.log(ERROR_RATE))
+    q = max(q, 2)
+    if even and q % 2:
+        q += 1
+    return min(q, 24)
+
+
+def speedup_from_reduced_q(q_full: int, q_reduced: int) -> float:
+    """Rough FMM-stage speedup from lowering Q (flops ~ linear-to-quadratic
+    in Q; we use the Section 5.1 mix at M_L = 64)."""
+    if q_reduced > q_full:
+        raise ParameterError("q_reduced must not exceed q_full")
+
+    def cost(q):  # 20 q^2/ML + 4 q terms with ML = 64, plus the 6*ML floor
+        return 20.0 * q * q / 64.0 + 4.0 * q + 6.0 * 64.0
+
+    return cost(q_full) / cost(q_reduced)

@@ -1,0 +1,83 @@
+"""Human-readable model breakdowns.
+
+Renders the Section 5 model for a configuration the way the paper
+discusses it: per-stage flops, bytes, computational intensity, the
+roofline limit that binds, and the model time — plus the pipeline
+summary (FMM + 2D FFT vs the three-transpose baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fmm.plan import FmmGeometry
+from repro.machine.spec import ClusterSpec
+from repro.model.comm import fft1d_comm_bytes, fft2d_comm_bytes, fmm_comm_bytes
+from repro.model.flops import fmm_stage_flops
+from repro.model.mops import fmm_stage_mops
+from repro.model.roofline import (
+    fft1d_model_time,
+    fft2d_model_time,
+    fmm_model_time,
+    fmm_stage_times,
+)
+from repro.util.table import Table, format_bytes, format_count, format_time
+from repro.util.validation import real_dtype_for
+
+
+def stage_breakdown(geom: FmmGeometry, spec: ClusterSpec, dtype="complex128") -> Table:
+    """Per-stage model table for the FMM (one device)."""
+    flops = fmm_stage_flops(geom, dtype)
+    mops = fmm_stage_mops(geom, dtype)
+    times = fmm_stage_times(geom, spec, dtype)
+    gamma = spec.device.gamma(dtype)
+    crossover = gamma / spec.device.beta
+    t = Table(
+        ["stage", "flops", "bytes", "intensity", "bound", "model time"],
+        title=f"FMM stage model: M={geom.M}, P={geom.P}, ML={geom.ML}, "
+        f"B={geom.B}, Q={geom.Q}, G={geom.tree.G} on {spec.device.name} "
+        f"({np.dtype(dtype).name})",
+    )
+    for name in sorted(times, key=lambda n: -times[n]):
+        inten = flops[name] / mops[name] if mops[name] else float("inf")
+        bound = "compute" if inten >= crossover else "memory"
+        t.add_row([
+            name, format_count(flops[name]), format_bytes(mops[name]),
+            f"{inten:.2f}", bound, format_time(times[name]),
+        ])
+    return t
+
+
+def pipeline_summary(
+    geom: FmmGeometry, spec: ClusterSpec, dtype="complex128"
+) -> Table:
+    """FMM-FFT vs baseline model summary (times and communication)."""
+    N, G = geom.N, spec.num_devices
+    t_fmm = fmm_model_time(geom, spec, dtype)
+    t_2d = fft2d_model_time(geom.M, geom.P, spec, dtype)
+    t_1d = fft1d_model_time(N, spec, dtype)
+    comm_fmm = sum(fmm_comm_bytes(geom, dtype).values()) + fft2d_comm_bytes(N, G, dtype)
+    comm_1d = fft1d_comm_bytes(N, G, dtype)
+    t = Table(["pipeline", "model time", "comm bytes/device"],
+              title=f"Pipeline model summary, N={N}, G={G}")
+    t.add_row(["FMM stage", format_time(t_fmm), format_bytes(
+        sum(fmm_comm_bytes(geom, dtype).values()))])
+    t.add_row(["2D FFT stage", format_time(t_2d), format_bytes(
+        fft2d_comm_bytes(N, G, dtype))])
+    t.add_row(["FMM-FFT total", format_time(t_fmm + t_2d), format_bytes(comm_fmm)])
+    t.add_row(["1D FFT baseline", format_time(t_1d), format_bytes(comm_1d)])
+    speedup = t_1d / (t_fmm + t_2d)
+    t.add_row(["model speedup", f"{speedup:.2f}x",
+               f"{comm_1d / max(comm_fmm, 1e-30):.2f}x less comm"])
+    return t
+
+
+def render_model_report(
+    geom: FmmGeometry, spec: ClusterSpec, dtype="complex128"
+) -> str:
+    """Both tables as one string (the CLI's ``model`` command)."""
+    return (
+        stage_breakdown(geom, spec, dtype).render()
+        + "\n\n"
+        + pipeline_summary(geom, spec, dtype).render()
+    )

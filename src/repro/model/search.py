@@ -1,0 +1,133 @@
+"""Parameter-space search: "the fastest FMM-FFT found" (Figure 3).
+
+For each N the paper reports the best configuration over admissible
+``(P, M_L, B, Q)``.  We reproduce that by sweeping a pruned grid on a
+*timing-only* cluster (shape-determined, so N = 2^29 sweeps are cheap)
+and returning the fastest simulated wall time alongside the baseline's.
+
+The grid mirrors the paper's practice: Q statically tuned (16 double,
+8 single — Section 6.3.4), M_L in 16..128 (they report M_L = 64 for
+large N), B in 2..5, and every power-of-two P with at least 2G columns
+and a usable tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distributed import FmmFftDistributed
+from repro.core.plan import FmmFftPlan
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import ClusterSpec
+from repro.util.bitmath import ilog2
+from repro.util.validation import ParameterError, check_pow2, real_dtype_for
+
+
+def search_grid(N: int, G: int, dtype="complex128") -> list[dict]:
+    """Admissible (P, ML, B, Q) candidates for one N and device count.
+
+    Honors cuFFTXT's constraint that the 2D FFT has both dimensions
+    >= 32 (Section 6.3.2), and orders candidates square-most first so
+    that timing ties resolve toward the aspect ratios vendor 2D FFTs are
+    optimized for.
+    """
+    check_pow2("N", N)
+    Q = 16 if np.dtype(real_dtype_for(dtype)) == np.float64 else 8
+    grid: list[dict] = []
+    P = max(32, 2 * G)
+    while N // P >= 32:
+        M = N // P
+        for ML in (16, 32, 64, 128):
+            if ML * 4 > M:
+                continue
+            L = ilog2(M // ML)
+            for B in range(2, min(L, 5) + 1):
+                if (1 << B) % G != 0:
+                    continue
+                grid.append(dict(P=P, ML=ML, B=B, Q=Q))
+        P *= 2
+    grid.sort(key=lambda c: abs(ilog2(c["P"]) - ilog2(N // c["P"])))
+    return grid
+
+
+def simulate_fmmfft(
+    N: int,
+    params: dict,
+    spec: ClusterSpec,
+    dtype="complex128",
+    chunks: int = 4,
+) -> float:
+    """Simulated wall time of one FMM-FFT configuration (timing-only)."""
+    plan = FmmFftPlan.create(
+        N=N, G=spec.num_devices, dtype=dtype, build_operators=False, **params
+    )
+    cl = VirtualCluster(spec, execute=False)
+    FmmFftDistributed(plan, cl, chunks=chunks).run()
+    return cl.wall_time()
+
+
+def simulate_fft1d(
+    N: int, spec: ClusterSpec, dtype="complex128", chunks: int = 4
+) -> float:
+    """Simulated wall time of the six-step baseline (timing-only)."""
+    cl = VirtualCluster(spec, execute=False)
+    Distributed1DFFT(N, cl, dtype=dtype, chunks=chunks).run()
+    return cl.wall_time()
+
+
+def simulate_fft2d(
+    N: int, P: int, spec: ClusterSpec, dtype="complex128", chunks: int = 4
+) -> float:
+    """Simulated wall time of the M x P 2D FFT alone (timing-only)."""
+    from repro.dfft.fft2d import Distributed2DFFT
+
+    cl = VirtualCluster(spec, execute=False)
+    Distributed2DFFT(N // P, P, cl, dtype=dtype, chunks=chunks).run()
+    return cl.wall_time()
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a per-N parameter search."""
+
+    N: int
+    params: dict
+    fmmfft_time: float
+    baseline_time: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_time / self.fmmfft_time
+
+
+def find_fastest(
+    N: int,
+    spec: ClusterSpec,
+    dtype="complex128",
+    grid: list[dict] | None = None,
+) -> SearchResult:
+    """Sweep the grid; return the fastest configuration and the baseline.
+
+    Raises if no candidate is admissible for (N, G).
+    """
+    candidates = grid if grid is not None else search_grid(N, spec.num_devices, dtype)
+    best_t, best_p = float("inf"), None
+    for params in candidates:
+        try:
+            t = simulate_fmmfft(N, params, spec, dtype)
+        except ParameterError:
+            continue
+        # require a >1% win to displace an earlier (squarer) candidate
+        if t < best_t * 0.99:
+            best_t, best_p = t, params
+    if best_p is None:
+        raise ParameterError(f"no admissible FMM-FFT parameters for N={N}, G={spec.num_devices}")
+    return SearchResult(
+        N=N,
+        params=best_p,
+        fmmfft_time=best_t,
+        baseline_time=simulate_fft1d(N, spec, dtype),
+    )

@@ -1,0 +1,99 @@
+"""Parameter-tuning cache ("wisdom"), FFTW style.
+
+The Figure 3 search costs a few hundred simulated runs per (N, system,
+precision); a production library amortizes that by persisting the
+winners.  :class:`TuningCache` stores search results keyed by
+``(N, system-name, dtype)``, survives round trips through JSON, and
+:func:`tuned_params` is a drop-in front end for
+:func:`repro.model.search.find_fastest` that only searches on a miss.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.machine.spec import ClusterSpec
+from repro.model.search import SearchResult, find_fastest
+from repro.util.validation import ParameterError
+
+
+def _key(N: int, system: str, dtype) -> str:
+    return f"{N}|{system}|{np.dtype(dtype).name}"
+
+
+@dataclass
+class TuningCache:
+    """In-memory tuning database with JSON persistence."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    # -- core ------------------------------------------------------------
+
+    def get(self, N: int, system: str, dtype="complex128") -> dict | None:
+        """Cached best parameters, or None."""
+        hit = self.entries.get(_key(N, system, dtype))
+        return dict(hit["params"]) if hit else None
+
+    def put(self, N: int, system: str, dtype, result: SearchResult) -> None:
+        """Record a search result."""
+        self.entries[_key(N, system, dtype)] = dict(
+            params=dict(result.params),
+            fmmfft_time=result.fmmfft_time,
+            baseline_time=result.baseline_time,
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        N, system, dtype = key
+        return _key(N, system, dtype) in self.entries
+
+    # -- persistence -------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps({"version": 1, "entries": self.entries}, indent=1)
+
+    @classmethod
+    def loads(cls, text: str) -> "TuningCache":
+        """Deserialize; rejects unknown versions and malformed payloads."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise ParameterError(f"invalid tuning cache JSON: {e}") from None
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            raise ParameterError("unsupported tuning cache format")
+        entries = doc.get("entries", {})
+        for k, v in entries.items():
+            if "params" not in v or not {"P", "ML", "B", "Q"} <= set(v["params"]):
+                raise ParameterError(f"malformed tuning entry {k!r}")
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningCache":
+        return cls.loads(Path(path).read_text())
+
+
+def tuned_params(
+    N: int,
+    spec: ClusterSpec,
+    dtype="complex128",
+    cache: TuningCache | None = None,
+) -> dict:
+    """Best (P, ML, B, Q) for a problem, searching only on cache miss."""
+    if cache is None:
+        return find_fastest(N, spec, dtype=dtype).params
+    hit = cache.get(N, spec.name, dtype)
+    if hit is not None:
+        return hit
+    result = find_fastest(N, spec, dtype=dtype)
+    cache.put(N, spec.name, dtype, result)
+    return dict(result.params)

@@ -1,0 +1,47 @@
+"""The paper's tree-top summation helper (Section 5, displayed equation).
+
+For sums over the hierarchical levels of per-device box counts::
+
+    sum_{ell=B}^{L-1} ceil(2^ell / G) = 2^L / G - v(B, G)
+
+with::
+
+    v(B, G) = 2^B / G            if B >  log2 G
+    v(B, G) = B + 1 - log2 G     if B <= log2 G
+
+(the second branch accounts for levels with fewer boxes than devices,
+where every device still holds at least its one replicated box).  The
+paper also abbreviates the whole sum as ``v(L, B, G)``.
+"""
+
+from __future__ import annotations
+
+from repro.util.bitmath import ceil_div, ilog2
+from repro.util.validation import check_pow2, check_range
+
+
+def v_top(B: int, G: int) -> float:
+    """``v(B, G)`` as defined above."""
+    check_range("B", B, 0, None)
+    check_pow2("G", G)
+    lg = ilog2(G)
+    if B > lg:
+        return (1 << B) / G
+    return B + 1 - lg
+
+
+def v_levels(L: int, B: int, G: int) -> float:
+    """``v(L, B, G) = sum_{ell=B}^{L-1} ceil(2^ell/G) = 2^L/G - v(B, G)``.
+
+    Requires ``L > log2 G`` (the paper's standing assumption).
+    """
+    check_range("L", L, B, None)
+    check_pow2("G", G)
+    if L <= ilog2(G) and L > 0:
+        raise ValueError(f"v_levels assumes L > log2 G, got L={L}, G={G}")
+    return (1 << L) / G - v_top(B, G)
+
+
+def v_levels_exact(L: int, B: int, G: int) -> int:
+    """The sum evaluated term by term (oracle for the closed form)."""
+    return sum(ceil_div(1 << ell, G) for ell in range(B, L))

@@ -1,0 +1,50 @@
+"""Shared utilities: validation, bit math, tables, plots, signal generators.
+
+These are deliberately dependency-light helpers used by every other
+subpackage.  Nothing in here knows about FFTs, FMMs, or the machine model.
+"""
+
+from repro.util.bitmath import (
+    ceil_div,
+    ilog2,
+    is_pow2,
+    next_pow2,
+    pow2_divisors,
+    split_pow2,
+)
+from repro.util.validation import (
+    ParameterError,
+    check_dtype,
+    check_in,
+    check_multiple,
+    check_positive,
+    check_pow2,
+    check_range,
+)
+from repro.util.table import Table, format_bytes, format_count, format_time
+from repro.util.asciiplot import ascii_bar_chart, ascii_series
+from repro.util.prng import random_signal, structured_signal
+
+__all__ = [
+    "ParameterError",
+    "Table",
+    "ascii_bar_chart",
+    "ascii_series",
+    "ceil_div",
+    "check_dtype",
+    "check_in",
+    "check_multiple",
+    "check_positive",
+    "check_pow2",
+    "check_range",
+    "format_bytes",
+    "format_count",
+    "format_time",
+    "ilog2",
+    "is_pow2",
+    "next_pow2",
+    "pow2_divisors",
+    "random_signal",
+    "split_pow2",
+    "structured_signal",
+]

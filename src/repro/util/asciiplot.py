@@ -1,0 +1,111 @@
+"""Tiny ASCII plotting helpers for benchmark output.
+
+Figures are regenerated as data tables, but a quick visual sanity check of
+a series' *shape* (monotone?  crossover?  plateau?) is often what a reader
+wants from a figure.  These renderers draw horizontal bar charts and
+multi-series line-ish charts using only characters, so figure shapes show
+up directly in ``pytest benchmarks/`` output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart.
+
+    Parameters
+    ----------
+    labels, values:
+        Equal-length label/value sequences.  Values must be >= 0.
+    width:
+        Width in characters of the longest bar.
+    unit:
+        Unit suffix printed after each value.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(empty chart)"
+    vmax = max(values)
+    if vmax <= 0:
+        vmax = 1.0
+    lw = max(len(str(l)) for l in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        n = int(round(width * v / vmax))
+        lines.append(f"{str(label).rjust(lw)} | {'#' * n} {v:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    logy: bool = False,
+) -> str:
+    """Render several y-series against shared x as a character grid.
+
+    Each series is assigned a marker character; collisions print ``*``.
+    The x axis is rendered positionally (one column per x point), which is
+    the natural fit for the paper's power-of-two sweeps.
+    """
+    if not series:
+        return "(no series)"
+    markers = "ox+#@%&=~^"
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x):
+            raise ValueError(f"series {name!r} length != x length")
+    vals = [v for name in names for v in series[name] if v == v]
+    if logy:
+        vals = [v for v in vals if v > 0]
+        if not vals:
+            return "(no positive data for log plot)"
+        lo, hi = math.log10(min(vals)), math.log10(max(vals))
+    else:
+        lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        hi = lo + 1.0
+    ncol = len(x)
+    grid = [[" "] * ncol for _ in range(height)]
+
+    def row_of(v: float) -> int | None:
+        if v != v:
+            return None
+        if logy:
+            if v <= 0:
+                return None
+            t = (math.log10(v) - lo) / (hi - lo)
+        else:
+            t = (v - lo) / (hi - lo)
+        r = int(round((height - 1) * t))
+        return height - 1 - min(max(r, 0), height - 1)
+
+    for si, name in enumerate(names):
+        mk = markers[si % len(markers)]
+        for ci, v in enumerate(series[name]):
+            r = row_of(v)
+            if r is None:
+                continue
+            grid[r][ci] = "*" if grid[r][ci] not in (" ", mk) else mk
+
+    top = f"{(10**hi if logy else hi):.3g}"
+    bot = f"{(10**lo if logy else lo):.3g}"
+    lines = []
+    for ri, row in enumerate(grid):
+        prefix = top if ri == 0 else (bot if ri == height - 1 else "")
+        lines.append(f"{prefix:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * ncol)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

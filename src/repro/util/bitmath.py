@@ -1,0 +1,69 @@
+"""Power-of-two and integer arithmetic helpers.
+
+The FMM-FFT parameter space (Section 3/4 of the paper) lives almost
+entirely on powers of two: ``N = M * P``, ``M = M_L * 2**L``, device counts
+``G`` and base levels ``B`` with ``G | 2**B``.  These helpers centralize
+the bit arithmetic so parameter code reads like the paper's notation.
+"""
+
+from __future__ import annotations
+
+
+def is_pow2(n: int) -> bool:
+    """Return True if ``n`` is a positive integral power of two."""
+    return isinstance(n, (int,)) and n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises
+    ------
+    ValueError
+        If ``n`` is not a positive power of two.
+    """
+    if not is_pow2(n):
+        raise ValueError(f"ilog2 requires a positive power of two, got {n!r}")
+    return n.bit_length() - 1
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (n >= 1)."""
+    if n < 1:
+        raise ValueError(f"next_pow2 requires n >= 1, got {n!r}")
+    return 1 << (n - 1).bit_length()
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division, ``ceil(a / b)`` for non-negative ``a``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b!r}")
+    return -(-a // b)
+
+
+def pow2_divisors(n: int, low: int = 1, high: int | None = None) -> list[int]:
+    """All power-of-two divisors ``d`` of ``n`` with ``low <= d <= high``.
+
+    Used by the parameter search (Figure 3) to enumerate admissible
+    ``P`` and ``M_L`` factors of ``N``.
+    """
+    if n < 1:
+        raise ValueError(f"pow2_divisors requires n >= 1, got {n!r}")
+    out = []
+    d = 1
+    while d <= n and (high is None or d <= high):
+        if d >= low and n % d == 0:
+            out.append(d)
+        d *= 2
+    return out
+
+
+def split_pow2(n: int) -> tuple[int, int]:
+    """Split ``n = odd * 2**k`` and return ``(odd, k)``."""
+    if n < 1:
+        raise ValueError(f"split_pow2 requires n >= 1, got {n!r}")
+    k = 0
+    while n % 2 == 0:
+        n //= 2
+        k += 1
+    return n, k

@@ -1,0 +1,101 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark targets regenerate the paper's figures as text tables (one
+row per x-axis point, one column per series).  This module provides a
+small, dependency-free table builder plus human-friendly unit formatters
+(seconds, bytes, operation counts) used throughout the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (ns/us/ms/s)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    a = abs(seconds)
+    if a == 0:
+        return "0 s"
+    if a < 1e-6:
+        return f"{seconds * 1e9:.2f} ns"
+    if a < 1e-3:
+        return f"{seconds * 1e6:.2f} us"
+    if a < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Format a byte count with an adaptive binary unit."""
+    a = abs(nbytes)
+    for unit, scale in (("GiB", 2**30), ("MiB", 2**20), ("KiB", 2**10)):
+        if a >= scale:
+            return f"{nbytes / scale:.2f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def format_count(n: float) -> str:
+    """Format an operation count with an adaptive SI unit (K/M/G/T)."""
+    a = abs(n)
+    for unit, scale in (("T", 1e12), ("G", 1e9), ("M", 1e6), ("K", 1e3)):
+        if a >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{n:.0f}"
+
+
+class Table:
+    """Accumulate rows and render an aligned plain-text table.
+
+    Parameters
+    ----------
+    columns:
+        Column headers.
+    title:
+        Optional title printed above the table.
+
+    Examples
+    --------
+    >>> t = Table(["N", "speedup"], title="Fig 3")
+    >>> t.add_row([4096, 1.31])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None):
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row; values are stringified (floats get ``%.4g``)."""
+        row = []
+        for v in values:
+            if isinstance(v, float):
+                row.append(f"{v:.4g}")
+            else:
+                row.append(str(v))
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} entries, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as an aligned string (no trailing newline)."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

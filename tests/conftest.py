@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plan import FmmFftPlan
+from repro.fmm.plan import FmmOperators
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import p100_nvlink_node
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_plan():
+    """A small but non-trivial FMM-FFT plan (N = 4096)."""
+    return FmmFftPlan.create(N=4096, P=8, ML=16, B=3, Q=16)
+
+
+@pytest.fixture
+def small_ops():
+    """Operators for a small FMM batch."""
+    return FmmOperators.create(M=256, P=8, ML=16, B=2, Q=16)
+
+
+def make_cluster(G: int = 2, execute: bool = True) -> VirtualCluster:
+    return VirtualCluster(p100_nvlink_node(G), execute=execute)
+
+
+@pytest.fixture
+def cluster2():
+    return make_cluster(2)
+
+
+@pytest.fixture
+def cluster4():
+    return make_cluster(4)

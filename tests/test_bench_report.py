@@ -1,0 +1,40 @@
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import ORDER, available_artifacts, build_report, write_report
+from repro.cli import main
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    (tmp_path / "fig2_profile.txt").write_text("profile body")
+    (tmp_path / "fig1_gemm.txt").write_text("gemm body")
+    (tmp_path / "zzz_custom.txt").write_text("custom body")
+    return tmp_path
+
+
+class TestReport:
+    def test_order_preferred_then_alpha(self, artifact_dir):
+        arts = available_artifacts(artifact_dir)
+        assert [a.stem for a in arts] == ["fig1_gemm", "fig2_profile", "zzz_custom"]
+
+    def test_build_contains_bodies(self, artifact_dir):
+        text = build_report(artifact_dir)
+        assert "gemm body" in text and "custom body" in text
+        assert text.startswith("# Benchmark report")
+
+    def test_empty_dir_message(self, tmp_path):
+        assert "no artifacts" in build_report(tmp_path)
+
+    def test_write_report(self, artifact_dir, tmp_path):
+        out = write_report(tmp_path / "R.md", artifact_dir)
+        assert Path(out).read_text().count("## ") == 3
+
+    def test_order_list_covers_figures(self):
+        assert "fig9_q_accuracy" in ORDER and "fig3_8xP100_complex128" in ORDER
+
+    def test_cli_report(self, tmp_path, capsys):
+        out = tmp_path / "R.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert out.exists()

@@ -1,0 +1,93 @@
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("s,expected", [
+        ("4096", 4096), ("2^12", 4096), ("2**12", 4096), (" 2^4 ", 16),
+    ])
+    def test_forms(self, s, expected):
+        assert _parse_size(s) == expected
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--system", "9xH100"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "2xP100" in out and "8xP100" in out
+
+    def test_transform_meets_tolerance(self, capsys):
+        rc = main(["transform", "--n", "2^12", "--tolerance", "1e-9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "relative l2 error" in out
+
+    def test_transform_explicit_q(self, capsys):
+        rc = main(["transform", "--n", "2^12", "--q", "16", "--tolerance", "1e-12"])
+        assert rc == 0
+
+    def test_transform_fails_impossible_tolerance_q(self, capsys):
+        rc = main(["transform", "--n", "2^12", "--q", "4", "--tolerance", "1e-14"])
+        assert rc == 1
+
+    def test_search(self, capsys):
+        assert main(["search", "--n", "2^16", "--system", "2xP100"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "fastest" in out
+
+    def test_speedup_sweep(self, capsys):
+        assert main(["speedup", "--system", "2xK40c", "--min", "14", "--max", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "14" in out and "16" in out
+
+    def test_profile_fmmfft(self, capsys):
+        assert main(["profile", "--n", "2^18", "--system", "2xP100", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "dev0:" in out and "legend" in out
+
+    def test_profile_baseline(self, capsys):
+        assert main(["profile", "--n", "2^18", "--baseline", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "transpose" in out
+
+    def test_model(self, capsys):
+        assert main(["model", "--n", "2^18"]) == 0
+        out = capsys.readouterr().out
+        assert "FMM stage model" in out and "model speedup" in out
+
+    def test_energy(self, capsys):
+        assert main(["energy", "--n", "2^20", "--system", "8xP100"]) == 0
+        out = capsys.readouterr().out
+        assert "energy ratio" in out
+
+    def test_multinode(self, capsys):
+        assert main(["multinode", "--n", "2^18"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-node projection" in out
+
+    def test_tune_roundtrip(self, capsys, tmp_path):
+        wisdom = str(tmp_path / "w.json")
+        assert main(["tune", "--min", "14", "--max", "15", "--wisdom", wisdom]) == 0
+        # second run hits the cache and keeps the same entries
+        assert main(["tune", "--min", "14", "--max", "15", "--wisdom", wisdom]) == 0
+        out = capsys.readouterr().out
+        assert "2 entries" in out
+
+    def test_trace_export(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "t.json"
+        assert main(["trace", "--n", "2^16", "--out", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]

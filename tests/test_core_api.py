@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.core.api import default_params, fmmfft, fourier_transform
+from repro.core.plan import FmmFftPlan
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import p100_nvlink_node
+from repro.util.prng import random_signal
+from repro.util.validation import ParameterError
+
+
+class TestDefaultParams:
+    @pytest.mark.parametrize("q", range(10, 24, 2))
+    def test_always_admissible(self, q):
+        N = 1 << q
+        for G in (1, 2, 4):
+            d = default_params(N, G)
+            plan = FmmFftPlan.create(N=N, G=G, build_operators=False, **d)
+            assert plan.N == N
+
+    def test_large_n_uses_ml64_q16(self):
+        d = default_params(1 << 24)
+        assert d["ML"] == 64
+        assert d["Q"] == 16
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ParameterError):
+            default_params(1000)
+
+
+class TestFmmfft:
+    def test_defaults(self):
+        x = random_signal(4096, seed=0)
+        out = fmmfft(x)
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-9)
+
+    def test_explicit_params(self):
+        x = random_signal(2048, seed=1)
+        out = fmmfft(x, P=8, ML=16, B=3, Q=16)
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-9)
+
+    def test_distributed_path(self):
+        x = random_signal(8192, seed=2)
+        cl = VirtualCluster(p100_nvlink_node(2))
+        out = fmmfft(x, cluster=cl, backend="numpy")
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-8)
+        assert cl.wall_time() > 0
+
+    def test_real_input(self):
+        x = random_signal(1024, "float64", seed=3)
+        out = fmmfft(x)
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-9)
+
+    def test_single_precision_input(self):
+        x = random_signal(4096, "complex64", seed=4)
+        out = fmmfft(x, Q=8)
+        assert out.dtype == np.complex64
+        ref = np.fft.fft(x.astype(np.complex128))
+        assert np.linalg.norm(out - ref) / np.linalg.norm(ref) < 4e-7
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            fmmfft(np.zeros((4, 4), dtype=complex))
+
+
+class TestFourierTransform:
+    def test_forward(self):
+        x = random_signal(100, seed=5)
+        np.testing.assert_allclose(fourier_transform(x), np.fft.fft(x), atol=1e-8)
+
+    def test_inverse(self):
+        x = random_signal(64, seed=6)
+        np.testing.assert_allclose(
+            fourier_transform(fourier_transform(x), inverse=True), x, atol=1e-9
+        )

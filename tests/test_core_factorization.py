@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.core.factorization import (
+    apply_perm_mp,
+    fmmfft_dense,
+    fourier_matrix,
+    hhat_dense,
+    perm_block_to_cyclic,
+    perm_matrix,
+    radix_split_dense,
+    twiddle_matrix,
+)
+from repro.util.validation import ParameterError
+
+
+class TestFourierMatrix:
+    def test_small(self):
+        F = fourier_matrix(2)
+        np.testing.assert_allclose(F, [[1, 1], [1, -1]], atol=1e-15)
+
+    def test_unitary_scaled(self):
+        N = 16
+        F = fourier_matrix(N)
+        np.testing.assert_allclose(F @ F.conj().T / N, np.eye(N), atol=1e-12)
+
+    def test_matches_numpy(self, rng):
+        N = 32
+        x = rng.standard_normal(N)
+        np.testing.assert_allclose(fourier_matrix(N) @ x, np.fft.fft(x), atol=1e-10)
+
+
+class TestPermutation:
+    def test_definition(self):
+        """Pi e_{p+mP} = e_{m+pM}."""
+        M, P = 3, 4
+        idx = perm_block_to_cyclic(M, P)
+        x = np.arange(M * P)
+        y = x[idx]
+        for p in range(P):
+            for m in range(M):
+                assert y[m + p * M] == p + m * P
+
+    def test_matrix_vs_index(self, rng):
+        M, P = 4, 6
+        x = rng.standard_normal(M * P)
+        np.testing.assert_allclose(
+            perm_matrix(M, P) @ x, x[perm_block_to_cyclic(M, P)], atol=1e-15
+        )
+
+    def test_apply_vectorized(self, rng):
+        M, P = 8, 4
+        x = rng.standard_normal((3, M * P))
+        got = apply_perm_mp(x, M, P)
+        for i in range(3):
+            np.testing.assert_allclose(got[i], x[i][perm_block_to_cyclic(M, P)])
+
+    def test_inverse_is_swapped_args(self, rng):
+        M, P = 5, 7
+        x = rng.standard_normal(M * P)
+        np.testing.assert_allclose(
+            apply_perm_mp(apply_perm_mp(x, M, P), P, M), x, atol=1e-15
+        )
+
+    def test_apply_shape_check(self):
+        with pytest.raises(ParameterError):
+            apply_perm_mp(np.zeros(10), 3, 4)
+
+    def test_permutation_is_orthogonal(self):
+        Pi = perm_matrix(4, 3)
+        np.testing.assert_allclose(Pi @ Pi.T, np.eye(12), atol=1e-15)
+
+
+class TestTwiddle:
+    def test_diagonal_entries(self):
+        M, P = 4, 3
+        N = M * P
+        T = twiddle_matrix(M, P)
+        i = 7  # m = 3, p = 1
+        expect = np.exp(-2j * np.pi * ((i % M) * (i // M)) / N)
+        assert T[i, i] == pytest.approx(expect)
+
+    def test_off_diagonal_zero(self):
+        T = twiddle_matrix(4, 3)
+        assert np.abs(T - np.diag(np.diag(T))).max() == 0.0
+
+
+class TestFactorizations:
+    """The ground truth: both factorizations equal F_N to machine eps."""
+
+    @pytest.mark.parametrize("M,P", [(4, 4), (8, 4), (4, 8), (16, 8), (6, 4), (5, 3), (9, 7)])
+    def test_radix_split(self, M, P):
+        N = M * P
+        err = np.abs(radix_split_dense(M, P) - fourier_matrix(N)).max()
+        assert err < 1e-11
+
+    @pytest.mark.parametrize("M,P", [(4, 4), (8, 4), (4, 8), (16, 8), (6, 4), (5, 3), (32, 4)])
+    def test_fmmfft_factorization(self, M, P):
+        N = M * P
+        err = np.abs(fmmfft_dense(M, P) - fourier_matrix(N)).max()
+        assert err < 1e-11
+
+    def test_hhat_applies_kernels_in_p_major(self, rng):
+        """H^ acting on the natural layout applies C_p to x[p::P]."""
+        from repro.core.kernels import dense_c_matrix
+
+        M, P = 8, 4
+        Hh = hhat_dense(M, P)
+        x = rng.standard_normal(M * P) + 1j * rng.standard_normal(M * P)
+        y = Hh @ x
+        for p in range(P):
+            np.testing.assert_allclose(
+                y[p::P], dense_c_matrix(M, P, p) @ x[p::P], atol=1e-12
+            )

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.core.plan import FmmFftPlan, admissible_params
+from repro.util.validation import ParameterError
+
+
+class TestCreate:
+    def test_derived_fields(self):
+        p = FmmFftPlan.create(N=4096, P=8, ML=16, B=3, Q=16)
+        assert p.M == 512
+        assert p.L == 5
+        assert p.dtype == np.complex128
+        assert p.operators is not None
+
+    def test_float_dtype_promoted_to_complex(self):
+        p = FmmFftPlan.create(N=1024, P=4, ML=16, B=2, Q=8, dtype="float32")
+        assert p.dtype == np.complex64
+
+    def test_c_factor(self):
+        p = FmmFftPlan.create(N=1024, P=4, ML=16, B=2, Q=8)
+        assert p.C == 2
+
+    def test_describe(self):
+        p = FmmFftPlan.create(N=4096, P=8, ML=16, B=3, Q=16)
+        s = p.describe()
+        assert "P=8" in s and "Q=16" in s
+
+    def test_without_operators(self):
+        p = FmmFftPlan.create(N=1 << 22, P=1 << 8, ML=64, B=3, Q=16,
+                              build_operators=False)
+        assert p.operators is None
+        assert p.geometry.N == 1 << 22
+
+    def test_with_devices(self):
+        p = FmmFftPlan.create(N=4096, P=8, ML=16, B=3, Q=16)
+        p2 = p.with_devices(2)
+        assert p2.G == 2
+        assert p2.N == p.N
+
+
+class TestValidation:
+    def test_p_must_divide(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=1000, P=3, ML=16, B=2, Q=8)
+
+    def test_p_at_least_2(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=1024, P=1, ML=16, B=2, Q=8)
+
+    def test_m_power_of_two(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=96, P=2, ML=16, B=2, Q=8)
+
+    def test_ml_divides_m(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=1024, P=4, ML=48, B=2, Q=8)
+
+    def test_b_range(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=1024, P=4, ML=16, B=1, Q=8)
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=1024, P=4, ML=16, B=10, Q=8)
+
+    def test_g_must_divide_base(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=4096, P=8, ML=16, B=2, Q=8, G=8)
+
+    def test_g_must_divide_p(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=4096, P=2, ML=16, B=3, Q=8, G=4)
+
+    def test_q_minimum(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=1024, P=4, ML=16, B=2, Q=1)
+
+    def test_ml_cannot_exceed_m(self):
+        with pytest.raises(ParameterError):
+            FmmFftPlan.create(N=256, P=16, ML=32, B=2, Q=8)
+
+
+class TestAdmissibleParams:
+    def test_nonempty_for_reasonable_n(self):
+        grid = admissible_params(1 << 16)
+        assert len(grid) > 10
+
+    def test_all_create_valid_plans(self):
+        for params in admissible_params(1 << 14, G=2)[:40]:
+            plan = FmmFftPlan.create(N=1 << 14, G=2, build_operators=False, **params)
+            assert plan.N == 1 << 14
+
+    def test_respects_g(self):
+        for params in admissible_params(1 << 14, G=4):
+            assert (1 << params["B"]) % 4 == 0
+            assert params["P"] % 4 == 0

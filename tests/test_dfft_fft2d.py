@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.dfft.fft2d import Distributed2DFFT
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import dual_p100_nvlink, p100_nvlink_node
+from repro.util.validation import ParameterError
+
+
+def _rand2(m, p, rng):
+    return rng.standard_normal((m, p)) + 1j * rng.standard_normal((m, p))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("G", [1, 2, 4])
+    def test_matches_fft2(self, G, rng):
+        M, P = 64, 32
+        cl = VirtualCluster(p100_nvlink_node(G))
+        a = _rand2(M, P, rng)
+        out = Distributed2DFFT(M, P, cl).run(a)
+        # output is B[p, m]; numpy's fft2 gives [m', p']
+        np.testing.assert_allclose(out.T, np.fft.fft2(a), atol=1e-9)
+
+    def test_rectangular(self, rng):
+        cl = VirtualCluster(p100_nvlink_node(2))
+        a = _rand2(256, 8, rng)
+        out = Distributed2DFFT(256, 8, cl).run(a)
+        np.testing.assert_allclose(out.T, np.fft.fft2(a), atol=1e-8)
+
+    def test_load_callback_fused(self, rng):
+        M, P = 32, 16
+        cl = VirtualCluster(p100_nvlink_node(2))
+        a = _rand2(M, P, rng)
+        out = Distributed2DFFT(M, P, cl).run(a, load_callback=lambda blk, g: 2.0 * blk)
+        np.testing.assert_allclose(out.T, np.fft.fft2(2.0 * a), atol=1e-9)
+
+    def test_load_callback_unfused_same_result(self, rng):
+        M, P = 32, 16
+        a = _rand2(M, P, rng)
+        cb = lambda blk, g: blk + 1.0
+        cl1 = VirtualCluster(p100_nvlink_node(2))
+        out1 = Distributed2DFFT(M, P, cl1, fuse_load=True).run(a, load_callback=cb)
+        cl2 = VirtualCluster(p100_nvlink_node(2))
+        out2 = Distributed2DFFT(M, P, cl2, fuse_load=False).run(a, load_callback=cb)
+        np.testing.assert_allclose(out1, out2, atol=1e-10)
+
+    def test_staged_input(self, rng):
+        M, P, G = 16, 16, 2
+        cl = VirtualCluster(p100_nvlink_node(G))
+        a = _rand2(M, P, rng)
+        for g in range(G):
+            cl.dev(g)["mykey"] = a[g * M // G : (g + 1) * M // G].copy()
+        out = Distributed2DFFT(M, P, cl).run(key="mykey", staged=True)
+        np.testing.assert_allclose(out.T, np.fft.fft2(a), atol=1e-10)
+
+
+class TestValidation:
+    def test_rejects_indivisible(self):
+        cl = VirtualCluster(p100_nvlink_node(4), execute=False)
+        with pytest.raises(Exception):
+            Distributed2DFFT(6, 8, cl)
+
+    def test_rejects_real_dtype(self):
+        cl = VirtualCluster(p100_nvlink_node(2), execute=False)
+        with pytest.raises(ParameterError):
+            Distributed2DFFT(8, 8, cl, dtype="float32")
+
+    def test_execute_requires_data(self):
+        cl = VirtualCluster(p100_nvlink_node(2))
+        with pytest.raises(ParameterError):
+            Distributed2DFFT(8, 8, cl).run()
+
+
+class TestTiming:
+    def test_single_alltoall(self):
+        cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed2DFFT(1 << 14, 1 << 8, cl).run()
+        comm_names = set(cl.ledger.comm_bytes_by_name())
+        assert comm_names == {"fft2d.transpose"}
+
+    def test_faster_than_1d(self):
+        """The Section 6.1 'nearly 3x' budget claim, directionally."""
+        from repro.dfft.fft1d import Distributed1DFFT
+
+        N = 1 << 26
+        cl1 = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed1DFFT(N, cl1).run()
+        cl2 = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed2DFFT(N // 256, 256, cl2).run()
+        ratio = cl1.wall_time() / cl2.wall_time()
+        assert 1.8 < ratio < 3.5
+
+    def test_extreme_aspect_slower(self):
+        """Figure 7: large aspect ratios degrade the 2D FFT."""
+        N = 1 << 24
+        cl_sq = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed2DFFT(1 << 12, 1 << 12, cl_sq).run()
+        cl_skew = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed2DFFT(N // 4, 4, cl_skew).run()
+        assert cl_skew.wall_time() > 1.5 * cl_sq.wall_time()
+
+    def test_fused_callback_cheaper_than_unfused(self):
+        M, P = 1 << 14, 1 << 10
+        cb = lambda blk, g: blk
+        cl_f = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed2DFFT(M, P, cl_f, fuse_load=True).run(load_callback=cb)
+        cl_u = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed2DFFT(M, P, cl_u, fuse_load=False).run(load_callback=cb)
+        assert cl_f.wall_time() < cl_u.wall_time()

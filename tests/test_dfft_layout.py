@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.dfft.layout import BlockRows
+from repro.util.validation import ParameterError
+
+
+class TestConstruction:
+    def test_basic(self):
+        lay = BlockRows(rows=8, cols=4, G=2)
+        assert lay.rows_local == 4
+        assert lay.cols_local == 2
+        assert lay.n == 32
+
+    def test_rejects_indivisible_rows(self):
+        with pytest.raises(ParameterError):
+            BlockRows(rows=9, cols=4, G=2)
+
+    def test_rejects_indivisible_cols(self):
+        with pytest.raises(ParameterError):
+            BlockRows(rows=8, cols=5, G=2)
+
+    def test_g1_always_ok(self):
+        BlockRows(rows=7, cols=3, G=1)
+
+
+class TestRanges:
+    def test_row_range(self):
+        lay = BlockRows(rows=8, cols=4, G=2)
+        assert lay.row_range(0) == (0, 4)
+        assert lay.row_range(1) == (4, 8)
+
+    def test_row_range_bounds(self):
+        lay = BlockRows(rows=8, cols=4, G=2)
+        with pytest.raises(ParameterError):
+            lay.row_range(2)
+
+    def test_local_shape_and_bytes(self):
+        lay = BlockRows(rows=8, cols=4, G=2)
+        assert lay.local_shape() == (4, 4)
+        assert lay.local_bytes(16) == 4 * 4 * 16
+
+    def test_transposed(self):
+        lay = BlockRows(rows=8, cols=4, G=2).transposed()
+        assert (lay.rows, lay.cols) == (4, 8)
+
+    def test_alltoall_bytes(self):
+        lay = BlockRows(rows=8, cols=4, G=2)
+        assert lay.alltoall_bytes_sent(16) == pytest.approx(lay.local_bytes(16) / 2)
+        assert BlockRows(rows=8, cols=4, G=1).alltoall_bytes_sent(16) == 0.0
+
+
+class TestScatterGather:
+    def test_roundtrip(self, rng):
+        lay = BlockRows(rows=6, cols=6, G=3)
+        a = rng.standard_normal((6, 6))
+        blocks = lay.scatter(a)
+        assert len(blocks) == 3
+        np.testing.assert_array_equal(lay.gather(blocks), a)
+
+    def test_scatter_from_flat(self, rng):
+        lay = BlockRows(rows=4, cols=4, G=2)
+        x = rng.standard_normal(16)
+        blocks = lay.scatter(x)
+        np.testing.assert_array_equal(blocks[0], x.reshape(4, 4)[:2])
+
+    def test_gather_wrong_count(self):
+        lay = BlockRows(rows=4, cols=4, G=2)
+        with pytest.raises(ParameterError):
+            lay.gather([np.zeros((2, 4))])

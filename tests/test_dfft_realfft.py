@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.dfft.realfft import DistributedRealFFT
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import dual_p100_nvlink, p100_nvlink_node
+from repro.machine.validate import assert_valid_schedule
+from repro.util.validation import ParameterError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("G", [1, 2, 4, 8])
+    def test_matches_numpy_rfft(self, G, rng):
+        N = 1 << 12
+        cl = VirtualCluster(p100_nvlink_node(G))
+        x = rng.standard_normal(N)
+        out = DistributedRealFFT(N, cl).run(x)
+        ref = np.fft.rfft(x)
+        assert out.shape == (N // 2 + 1,)
+        assert np.linalg.norm(out - ref) / np.linalg.norm(ref) < 1e-12
+
+    def test_single_precision(self, rng):
+        N = 1 << 10
+        cl = VirtualCluster(p100_nvlink_node(2))
+        x = rng.standard_normal(N).astype(np.float32)
+        out = DistributedRealFFT(N, cl, dtype="float32").run(x)
+        assert out.dtype == np.complex64
+        ref = np.fft.rfft(x.astype(np.float64))
+        assert np.linalg.norm(out - ref) / np.linalg.norm(ref) < 1e-4
+
+    def test_dc_and_nyquist_real(self, rng):
+        cl = VirtualCluster(p100_nvlink_node(2))
+        out = DistributedRealFFT(256, cl).run(rng.standard_normal(256))
+        assert abs(out[0].imag) < 1e-12
+        assert abs(out[-1].imag) < 1e-12
+
+    def test_schedule_valid(self, rng):
+        cl = VirtualCluster(p100_nvlink_node(4))
+        DistributedRealFFT(1 << 12, cl).run(rng.standard_normal(1 << 12))
+        assert_valid_schedule(cl.ledger)
+
+
+class TestCost:
+    def test_cheaper_than_complex(self):
+        """The C = 1 saving: real transform ~half a complex one."""
+        N = 1 << 24
+        cl_r = VirtualCluster(dual_p100_nvlink(), execute=False)
+        DistributedRealFFT(N, cl_r).run()
+        cl_c = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed1DFFT(N, cl_c).run()
+        assert cl_r.wall_time() < 0.7 * cl_c.wall_time()
+
+    def test_half_the_transpose_bytes(self):
+        N = 1 << 20
+        cl_r = VirtualCluster(dual_p100_nvlink(), execute=False)
+        DistributedRealFFT(N, cl_r).run()
+        cl_c = VirtualCluster(dual_p100_nvlink(), execute=False)
+        Distributed1DFFT(N, cl_c).run()
+        tr_bytes = lambda cl: sum(
+            v for k, v in cl.ledger.comm_bytes_by_name().items() if "transpose" in k
+        )
+        assert tr_bytes(cl_r) == pytest.approx(tr_bytes(cl_c) / 2)
+
+    def test_mirror_exchange_is_pairwise(self):
+        cl = VirtualCluster(p100_nvlink_node(4), execute=False)
+        DistributedRealFFT(1 << 16, cl).run()
+        recs = cl.ledger.records(name="rfft.mirror")
+        assert len(recs) == 4
+        assert all(r.peer == 3 - r.device for r in recs)
+
+
+class TestValidation:
+    def test_rejects_complex_dtype(self):
+        cl = VirtualCluster(p100_nvlink_node(2), execute=False)
+        with pytest.raises(ParameterError):
+            DistributedRealFFT(256, cl, dtype="complex128")
+
+    def test_rejects_tiny_n(self):
+        cl = VirtualCluster(p100_nvlink_node(2), execute=False)
+        with pytest.raises(ParameterError):
+            DistributedRealFFT(2, cl)
+
+    def test_execute_needs_data(self):
+        cl = VirtualCluster(p100_nvlink_node(2))
+        with pytest.raises(ParameterError):
+            DistributedRealFFT(256, cl).run()
+
+    def test_wrong_shape(self, rng):
+        cl = VirtualCluster(p100_nvlink_node(2))
+        with pytest.raises(ParameterError):
+            DistributedRealFFT(256, cl).run(rng.standard_normal(128))

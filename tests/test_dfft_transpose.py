@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.dfft.layout import BlockRows
+from repro.dfft.transpose import distributed_transpose
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import dual_p100_nvlink, p100_nvlink_node
+from repro.machine.stream import Event
+from repro.util.validation import ParameterError
+
+
+def _stage(cl, lay, a, key="src"):
+    for g, blk in enumerate(lay.scatter(a)):
+        cl.dev(g)[key] = blk
+
+
+@pytest.mark.parametrize("G", [1, 2, 4])
+def test_transpose_correct(G, rng):
+    cl = VirtualCluster(p100_nvlink_node(G))
+    lay = BlockRows(rows=8, cols=12, G=G)
+    a = rng.standard_normal((8, 12)) + 1j * rng.standard_normal((8, 12))
+    _stage(cl, lay, a)
+    distributed_transpose(cl, "src", "dst", lay, np.complex128)
+    got = np.vstack(
+        [np.asarray(cl.dev(g)["dst"]).reshape(12 // G, 8) for g in range(G)]
+    )
+    np.testing.assert_allclose(got, a.T)
+
+
+def test_transpose_in_place_key(rng):
+    cl = VirtualCluster(p100_nvlink_node(2))
+    lay = BlockRows(rows=4, cols=4, G=2)
+    a = rng.standard_normal((4, 4))
+    _stage(cl, lay, a, key="x")
+    distributed_transpose(cl, "x", "x", lay, np.float64)
+    got = np.vstack([np.asarray(cl.dev(g)["x"]) for g in range(2)])
+    np.testing.assert_allclose(got, a.T)
+
+
+def test_double_transpose_is_identity(rng):
+    cl = VirtualCluster(p100_nvlink_node(2))
+    lay = BlockRows(rows=8, cols=4, G=2)
+    a = rng.standard_normal((8, 4))
+    _stage(cl, lay, a)
+    distributed_transpose(cl, "src", "mid", lay, np.float64)
+    distributed_transpose(cl, "mid", "back", lay.transposed(), np.float64)
+    got = np.vstack([np.asarray(cl.dev(g)["back"]) for g in range(2)])
+    np.testing.assert_allclose(got, a)
+
+
+class TestTiming:
+    def test_comm_bytes_logged(self):
+        cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+        lay = BlockRows(rows=1 << 10, cols=1 << 10, G=2)
+        for g in range(2):
+            cl.dev(g).alloc("src", lay.local_shape(), np.complex128)
+        distributed_transpose(cl, "src", "dst", lay, np.complex128, name="t")
+        total = cl.ledger.total("comm_bytes", name="t")
+        assert total == pytest.approx(2 * lay.alltoall_bytes_sent(16))
+
+    def test_chunking_splits_ops(self):
+        cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+        lay = BlockRows(rows=64, cols=64, G=2)
+        evs = [Event(0.0)] * 2
+        distributed_transpose(
+            cl, "s", "d", lay, np.complex128, name="t",
+            after_chunks=[[e] for e in [evs, evs, evs, evs]][0:4] and [evs] * 4,
+            chunks=4,
+        )
+        assert len(cl.ledger.records(name="t", device=0)) == 4
+
+    def test_after_chunks_length_checked(self):
+        cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+        lay = BlockRows(rows=64, cols=64, G=2)
+        with pytest.raises(ParameterError):
+            distributed_transpose(
+                cl, "s", "d", lay, np.complex128, after_chunks=[[]], chunks=2
+            )
+
+    def test_g_mismatch(self):
+        cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+        with pytest.raises(ParameterError):
+            distributed_transpose(cl, "s", "d", BlockRows(8, 8, 4), np.complex128)
+
+    def test_g1_charges_local_reorder(self):
+        cl = VirtualCluster(p100_nvlink_node(1), execute=False)
+        lay = BlockRows(rows=1 << 10, cols=1 << 10, G=1)
+        distributed_transpose(cl, "s", "d", lay, np.complex128, name="t")
+        recs = cl.ledger.records(name="t.reorder")
+        assert recs and recs[0].mops == pytest.approx(2 * lay.local_bytes(16))

@@ -1,0 +1,103 @@
+import math
+
+import pytest
+
+from repro.fftcore.flops import (
+    MODEL_RADIX_BITS,
+    fft_flops,
+    fft_mops,
+    fft_passes,
+    fft_small_n_efficiency,
+)
+from repro.fftcore.twiddle import cache_size, clear_cache, twiddles
+
+import numpy as np
+
+
+class TestFftFlops:
+    def test_standard_count(self):
+        assert fft_flops(1024) == pytest.approx(5 * 1024 * 10)
+
+    def test_batch_scales(self):
+        assert fft_flops(64, batch=7) == pytest.approx(7 * fft_flops(64))
+
+    def test_real_is_half(self):
+        assert fft_flops(256, complex_input=False) == pytest.approx(fft_flops(256) / 2)
+
+    def test_n1_is_free(self):
+        assert fft_flops(1) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(Exception):
+            fft_flops(0)
+
+
+class TestFftPasses:
+    def test_min_one(self):
+        assert fft_passes(2) == 1.0
+        assert fft_passes(1) == 1.0
+
+    def test_smooth_growth(self):
+        assert fft_passes(1 << 27) == pytest.approx(27 / MODEL_RADIX_BITS)
+
+    def test_monotone(self):
+        vals = [fft_passes(1 << q) for q in range(1, 28)]
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+
+class TestFftMops:
+    def test_one_pass_reads_and_writes(self):
+        n = 1 << MODEL_RADIX_BITS
+        assert fft_mops(n, batch=1, itemsize=16) == pytest.approx(2 * n * 16)
+
+    def test_scales_with_itemsize(self):
+        assert fft_mops(4096, 1, 16) == pytest.approx(2 * fft_mops(4096, 1, 8))
+
+
+class TestSmallNEfficiency:
+    def test_small_is_inefficient(self):
+        assert fft_small_n_efficiency(4) < 0.2
+
+    def test_large_is_efficient(self):
+        assert fft_small_n_efficiency(1 << 16) > 0.99
+
+    def test_monotone(self):
+        vals = [fft_small_n_efficiency(1 << q) for q in range(1, 20)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+
+class TestTwiddleCache:
+    def test_values(self):
+        t = twiddles(8, -1)
+        k = np.arange(8)
+        np.testing.assert_allclose(t, np.exp(-2j * np.pi * k / 8), atol=1e-15)
+
+    def test_cache_hit_is_same_object(self):
+        clear_cache()
+        a = twiddles(16, -1)
+        b = twiddles(16, -1)
+        assert a is b
+        assert cache_size() == 1
+
+    def test_sign_keys_distinct(self):
+        clear_cache()
+        twiddles(16, -1)
+        twiddles(16, 1)
+        assert cache_size() == 2
+
+    def test_rejects_bad_sign(self):
+        with pytest.raises(ValueError):
+            twiddles(8, 0)
+
+    def test_single_precision_narrowing(self):
+        t = twiddles(1 << 20, -1, dtype="complex64")
+        assert t.dtype == np.complex64
+        # computed in double then narrowed: error stays at float32 eps
+        ref = np.exp(-2j * np.pi * np.arange(1 << 20) / (1 << 20))
+        assert np.abs(t - ref).max() < 1e-6
+
+    def test_cache_bounded(self):
+        clear_cache()
+        for n in range(1, 300):
+            twiddles(n, -1)
+        assert cache_size() <= 256

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.fftcore.plan import LocalFFTPlan, fft, ifft
+from repro.util.validation import ParameterError
+
+
+class TestPlanConstruction:
+    def test_auto_pow2_is_stockham(self):
+        assert LocalFFTPlan(64).backend == "stockham"
+
+    def test_auto_general_is_bluestein(self):
+        assert LocalFFTPlan(60).backend == "bluestein"
+
+    def test_stockham_rejects_non_pow2(self):
+        with pytest.raises(ParameterError):
+            LocalFFTPlan(60, backend="stockham")
+
+    def test_rejects_real_dtype(self):
+        with pytest.raises(ParameterError):
+            LocalFFTPlan(8, dtype="float64")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ParameterError):
+            LocalFFTPlan(8, backend="fftw")
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ParameterError):
+            LocalFFTPlan(0)
+
+
+class TestPlanApply:
+    @pytest.mark.parametrize("backend", ["stockham", "numpy"])
+    def test_forward(self, backend, rng):
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        plan = LocalFFTPlan(128, backend=backend)
+        np.testing.assert_allclose(plan.forward(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("backend", ["stockham", "bluestein", "numpy"])
+    def test_inverse_roundtrip(self, backend, rng):
+        n = 64 if backend != "bluestein" else 60
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        plan = LocalFFTPlan(n, backend=backend)
+        np.testing.assert_allclose(plan.inverse(plan.forward(x)), x, atol=1e-9)
+
+    def test_axis_argument(self, rng):
+        x = rng.standard_normal((8, 16, 4)) + 0j
+        plan = LocalFFTPlan(16)
+        np.testing.assert_allclose(plan.forward(x, axis=1), np.fft.fft(x, axis=1), atol=1e-10)
+
+    def test_wrong_axis_length(self, rng):
+        plan = LocalFFTPlan(16)
+        with pytest.raises(ParameterError):
+            plan.forward(np.zeros(15, dtype=complex))
+
+    def test_single_precision_output(self, rng):
+        plan = LocalFFTPlan(32, dtype="complex64")
+        out = plan.forward(np.ones(32, dtype=np.complex64))
+        assert out.dtype == np.complex64
+
+    def test_reusable(self, rng):
+        plan = LocalFFTPlan(32)
+        for _ in range(3):
+            x = rng.standard_normal(32) + 0j
+            np.testing.assert_allclose(plan.forward(x), np.fft.fft(x), atol=1e-10)
+
+
+class TestConvenience:
+    def test_fft_matches(self, rng):
+        x = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-8)
+
+    def test_ifft_matches(self, rng):
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_allclose(ifft(x), np.fft.ifft(x), atol=1e-10)
+
+    def test_float32_input_uses_complex64(self):
+        out = fft(np.ones(8, dtype=np.float32))
+        assert out.dtype == np.complex64

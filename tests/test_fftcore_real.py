@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.fftcore.real import irfft_pow2, rfft_pow2, rfft_flop_saving
+from repro.util.validation import ParameterError
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256, 4096])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(rfft_pow2(x), np.fft.rfft(x), atol=1e-10 * n)
+
+    def test_output_length(self, rng):
+        assert rfft_pow2(rng.standard_normal(64)).shape == (33,)
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((5, 128))
+        np.testing.assert_allclose(rfft_pow2(x), np.fft.rfft(x, axis=-1), atol=1e-10)
+
+    def test_dc_and_nyquist_real(self, rng):
+        X = rfft_pow2(rng.standard_normal(64))
+        assert abs(X[0].imag) < 1e-12
+        assert abs(X[-1].imag) < 1e-12
+
+    def test_single_precision(self, rng):
+        x = rng.standard_normal(256).astype(np.float32)
+        X = rfft_pow2(x)
+        assert X.dtype == np.complex64
+        ref = np.fft.rfft(x.astype(np.float64))
+        assert np.abs(X - ref).max() / np.abs(ref).max() < 1e-5
+
+    def test_rejects_complex(self):
+        with pytest.raises(ParameterError):
+            rfft_pow2(np.zeros(8, dtype=complex))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ParameterError):
+            rfft_pow2(np.zeros(12))
+
+
+class TestIrfft:
+    @pytest.mark.parametrize("n", [4, 8, 64, 1024])
+    def test_roundtrip(self, n, rng):
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(irfft_pow2(rfft_pow2(x), n), x, atol=1e-12)
+
+    def test_matches_numpy(self, rng):
+        X = np.fft.rfft(rng.standard_normal(128))
+        np.testing.assert_allclose(irfft_pow2(X, 128), np.fft.irfft(X, 128), atol=1e-12)
+
+    def test_output_is_real(self, rng):
+        out = irfft_pow2(rfft_pow2(rng.standard_normal(64)), 64)
+        assert out.dtype.kind == "f"
+
+    def test_default_n(self, rng):
+        x = rng.standard_normal(32)
+        np.testing.assert_allclose(irfft_pow2(rfft_pow2(x)), x, atol=1e-12)
+
+    def test_bin_count_checked(self):
+        with pytest.raises(ParameterError):
+            irfft_pow2(np.zeros(10, dtype=complex), 64)
+
+
+class TestFlopSaving:
+    def test_approaches_two(self):
+        assert 1.5 < rfft_flop_saving(1 << 20) < 2.1
+
+    def test_tiny_is_one(self):
+        assert rfft_flop_saving(2) == 1.0

@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.fftcore.stockham import dft_direct, fft_pow2, num_passes
+from repro.util.validation import ParameterError
+
+
+def _rand(shape, rng, dtype=np.complex128):
+    x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return x.astype(dtype)
+
+
+class TestForward:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 1024, 4096])
+    def test_matches_numpy(self, n, rng):
+        x = _rand(n, rng)
+        np.testing.assert_allclose(fft_pow2(x), np.fft.fft(x), rtol=0, atol=1e-9 * n)
+
+    @pytest.mark.parametrize("n", [2, 8, 32, 512])
+    def test_matches_direct_dft(self, n, rng):
+        x = _rand(n, rng)
+        np.testing.assert_allclose(fft_pow2(x), dft_direct(x), atol=1e-9 * n)
+
+    @pytest.mark.parametrize("radix", [2, 4])
+    def test_radices_agree(self, radix, rng):
+        x = _rand(128, rng)
+        np.testing.assert_allclose(fft_pow2(x, radix=radix), np.fft.fft(x), atol=1e-10)
+
+    def test_batched(self, rng):
+        x = _rand((5, 3, 64), rng)
+        np.testing.assert_allclose(fft_pow2(x), np.fft.fft(x, axis=-1), atol=1e-10)
+
+    def test_real_input_promoted(self, rng):
+        x = rng.standard_normal(32)
+        y = fft_pow2(x)
+        assert y.dtype == np.complex128
+        np.testing.assert_allclose(y, np.fft.fft(x), atol=1e-12)
+
+    def test_single_precision(self, rng):
+        x = _rand(256, rng, np.complex64)
+        y = fft_pow2(x)
+        assert y.dtype == np.complex64
+        rel = np.linalg.norm(y - np.fft.fft(x.astype(np.complex128))) / np.linalg.norm(y)
+        assert rel < 1e-5
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [4, 64, 1024])
+    def test_roundtrip(self, n, rng):
+        x = _rand(n, rng)
+        y = fft_pow2(fft_pow2(x, sign=-1), sign=+1) / n
+        np.testing.assert_allclose(y, x, atol=1e-10)
+
+    def test_inverse_matches_numpy(self, rng):
+        x = _rand(128, rng)
+        np.testing.assert_allclose(fft_pow2(x, sign=+1) / 128, np.fft.ifft(x), atol=1e-10)
+
+
+class TestValidation:
+    def test_rejects_non_pow2(self, rng):
+        with pytest.raises(ValueError):
+            fft_pow2(_rand(12, rng))
+
+    def test_rejects_bad_sign(self, rng):
+        with pytest.raises(ValueError):
+            fft_pow2(_rand(8, rng), sign=0)
+
+    def test_rejects_bad_radix(self, rng):
+        with pytest.raises(ValueError):
+            fft_pow2(_rand(8, rng), radix=3)
+
+    def test_dft_direct_refuses_large(self, rng):
+        with pytest.raises(ParameterError):
+            dft_direct(_rand(8192, rng))
+
+
+class TestNumPasses:
+    def test_radix2(self):
+        assert num_passes(1024, radix=2) == 10
+
+    def test_radix4(self):
+        assert num_passes(1024, radix=4) == 5
+        assert num_passes(2048, radix=4) == 6  # one radix-2 + five radix-4
+
+
+class TestLinearity:
+    def test_linear(self, rng):
+        x, y = _rand(64, rng), _rand(64, rng)
+        a, b = 2.5, -1.5 + 0.5j
+        np.testing.assert_allclose(
+            fft_pow2(a * x + b * y), a * fft_pow2(x) + b * fft_pow2(y), atol=1e-10
+        )
+
+    def test_parseval(self, rng):
+        x = _rand(256, rng)
+        X = fft_pow2(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(X) ** 2) / 256, np.sum(np.abs(x) ** 2), rtol=1e-12
+        )
+
+    def test_impulse(self):
+        x = np.zeros(64, dtype=np.complex128)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft_pow2(x), np.ones(64), atol=1e-12)
+
+    def test_shift_theorem(self, rng):
+        n = 128
+        x = _rand(n, rng)
+        k = np.arange(n)
+        shifted = np.roll(x, 3)
+        np.testing.assert_allclose(
+            fft_pow2(shifted),
+            fft_pow2(x) * np.exp(-2j * np.pi * 3 * k / n),
+            atol=1e-9,
+        )

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.fmm.chebyshev import (
+    barycentric_weights,
+    cheb_points,
+    interp_matrix,
+    lagrange_eval,
+)
+
+
+class TestChebPoints:
+    def test_count_and_range(self):
+        z = cheb_points(8)
+        assert z.shape == (8,)
+        assert (np.abs(z) < 1.0).all()
+
+    def test_formula(self):
+        z = cheb_points(4)
+        np.testing.assert_allclose(z[0], np.cos(np.pi / 8))
+
+    def test_decreasing(self):
+        z = cheb_points(10)
+        assert (np.diff(z) < 0).all()
+
+    def test_symmetric(self):
+        z = cheb_points(9)
+        np.testing.assert_allclose(z, -z[::-1], atol=1e-15)
+
+    def test_rejects_zero(self):
+        with pytest.raises(Exception):
+            cheb_points(0)
+
+
+class TestLagrangeEval:
+    def test_cardinal_at_nodes(self):
+        """ell_q(z_k) = delta_qk."""
+        Q = 7
+        L = lagrange_eval(Q, cheb_points(Q))
+        np.testing.assert_allclose(L, np.eye(Q), atol=1e-12)
+
+    @pytest.mark.parametrize("Q", [2, 4, 8, 16, 24])
+    def test_partition_of_unity(self, Q):
+        """Columns sum to 1 — the property REDUCE relies on (Sec 4.8)."""
+        z = np.linspace(-1, 1, 37)
+        L = lagrange_eval(Q, z)
+        np.testing.assert_allclose(L.sum(axis=0), np.ones_like(z), atol=1e-10)
+
+    @pytest.mark.parametrize("deg", [0, 1, 3, 6])
+    def test_polynomial_reproduction(self, deg):
+        """Interpolation is exact for polynomials of degree < Q."""
+        Q = 8
+        zq = cheb_points(Q)
+        z = np.linspace(-0.9, 0.9, 21)
+        L = lagrange_eval(Q, z)
+        vals = zq**deg
+        np.testing.assert_allclose(vals @ L, z**deg, atol=1e-10)
+
+    def test_interpolation_converges(self):
+        """Chebyshev interpolation of a smooth function converges
+        geometrically in Q."""
+        f = lambda z: np.cos(3 * z) * np.exp(z / 2)
+        z = np.linspace(-1, 1, 101)
+        errs = []
+        for Q in (4, 8, 16):
+            L = lagrange_eval(Q, z)
+            errs.append(np.abs(f(cheb_points(Q)) @ L - f(z)).max())
+        assert errs[1] < errs[0] * 1e-2
+        assert errs[2] < errs[1] * 1e-3
+
+    def test_matches_naive_product_form(self):
+        Q = 6
+        zq = cheb_points(Q)
+        z = np.array([-0.3, 0.1, 0.77])
+        naive = np.ones((Q, z.size))
+        for q in range(Q):
+            for k in range(Q):
+                if k != q:
+                    naive[q] *= (z - zq[k]) / (zq[q] - zq[k])
+        np.testing.assert_allclose(lagrange_eval(Q, z), naive, atol=1e-12)
+
+    def test_stable_at_high_q(self):
+        """Barycentric form stays bounded at Q = 24 (Fig 9's upper end)."""
+        L = lagrange_eval(24, np.linspace(-1, 1, 99))
+        assert np.isfinite(L).all()
+        assert np.abs(L).max() < 50
+
+    def test_scalar_input(self):
+        L = lagrange_eval(4, 0.5)
+        assert L.shape == (4, 1)
+
+
+class TestHelpers:
+    def test_weights_alternate_sign(self):
+        w = barycentric_weights(6)
+        assert (np.sign(w) == [1, -1, 1, -1, 1, -1]).all()
+
+    def test_interp_matrix_is_transpose(self):
+        z = np.linspace(-1, 1, 5)
+        np.testing.assert_array_equal(interp_matrix(6, z), lagrange_eval(6, z).T)

@@ -1,0 +1,76 @@
+import pytest
+
+from repro.fmm.interaction import (
+    COUSINS_EVEN,
+    COUSINS_ODD,
+    base_interaction_list,
+    base_offsets,
+    coverage_map,
+    cousin_offsets,
+    interaction_list,
+)
+from repro.util.validation import ParameterError
+
+
+class TestOffsets:
+    def test_paper_cousin_lists(self):
+        """Section 4.7: s = {-2,2,3} (b even), {-3,-2,2} (b odd)."""
+        assert cousin_offsets(0) == (-2, 2, 3)
+        assert cousin_offsets(1) == (-3, -2, 2)
+
+    def test_bad_parity(self):
+        with pytest.raises(ParameterError):
+            cousin_offsets(2)
+
+    def test_base_offsets_count(self):
+        """2^B - 3 non-neighbours."""
+        for B in (2, 3, 4, 5):
+            assert len(base_offsets(B)) == (1 << B) - 3
+
+    def test_b2_single_nonneighbour(self):
+        """'with B = 2, each box at the base level has only one
+        non-neighbor box' (Section 4.7)."""
+        assert base_offsets(2) == (2,)
+
+
+class TestInteractionLists:
+    def test_cyclic_wrap(self):
+        lst = interaction_list(3, 0)  # 8 boxes, even box
+        assert lst == [6, 2, 3]
+
+    def test_odd_box(self):
+        assert interaction_list(3, 1) == [6, 7, 3]
+
+    def test_refuses_tiny_levels(self):
+        """Cousin offsets alias cyclically below 8 boxes — exactly why
+        the base level is dense."""
+        with pytest.raises(ParameterError):
+            interaction_list(2, 0)
+
+    def test_no_self_or_neighbours(self):
+        for level in (3, 4, 5):
+            nb = 1 << level
+            for b in range(nb):
+                for s in interaction_list(level, b):
+                    d = min((s - b) % nb, (b - s) % nb)
+                    assert d >= 2
+
+    def test_base_interaction_list(self):
+        assert base_interaction_list(2, 0) == [2]
+        assert sorted(base_interaction_list(3, 0)) == [2, 3, 4, 5, 6]
+
+
+class TestExactCover:
+    """Every ordered leaf pair covered exactly once: the core FMM
+    correctness theorem, checked exhaustively."""
+
+    @pytest.mark.parametrize("L,B", [(2, 2), (3, 2), (3, 3), (4, 2), (4, 3), (4, 4), (5, 3), (6, 4)])
+    def test_all_pairs_once(self, L, B):
+        cover = coverage_map(L, B)
+        nleaf = 1 << L
+        assert len(cover) == nleaf * nleaf
+        assert set(cover.values()) == {1}
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ParameterError):
+            coverage_map(3, 4)

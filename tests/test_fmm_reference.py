@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.fmm.operators import rho_factors
+from repro.fmm.reference import dense_apply, dense_apply_all, dense_kernel_matrix
+from repro.util.validation import ParameterError
+
+
+class TestKernelMatrix:
+    def test_p0_identity(self):
+        np.testing.assert_array_equal(dense_kernel_matrix(8, 4, 0), np.eye(8))
+
+    def test_entry_formula(self):
+        M, P, p = 16, 4, 2
+        C = dense_kernel_matrix(M, P, p)
+        m, n = 3, 7
+        expect = 1.0 / np.tan(np.pi / M * (n - m) + np.pi * p / (M * P))
+        assert C[m, n] == pytest.approx(expect)
+
+    def test_with_rho(self):
+        M, P, p = 16, 4, 1
+        C = dense_kernel_matrix(M, P, p, with_rho=True)
+        Ct = dense_kernel_matrix(M, P, p)
+        rho = rho_factors(P, M)[0]
+        np.testing.assert_allclose(C, rho * (Ct + 1j), atol=1e-15)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ParameterError):
+            dense_kernel_matrix(8, 4, 4)
+
+    def test_finite_no_poles(self):
+        """p >= 1 keeps the cot argument off the poles."""
+        for p in range(1, 8):
+            assert np.isfinite(dense_kernel_matrix(64, 8, p)).all()
+
+    def test_periodicity(self):
+        """cot kernel is cyclic: entry depends on (n - m) mod M."""
+        C = dense_kernel_matrix(16, 4, 1)
+        assert C[0, 5] == pytest.approx(C[3, 8])
+        assert C[0, 15] == pytest.approx(C[1, 0])
+
+
+class TestDenseApply:
+    def test_matches_matrix(self, rng):
+        M, P, p = 32, 4, 3
+        x = rng.standard_normal(M)
+        np.testing.assert_allclose(
+            dense_apply(x, M, P, p), dense_kernel_matrix(M, P, p) @ x, atol=1e-12
+        )
+
+    def test_batch(self, rng):
+        M, P, p = 16, 4, 1
+        X = rng.standard_normal((5, M))
+        out = dense_apply(X, M, P, p)
+        assert out.shape == (5, M)
+        np.testing.assert_allclose(out[2], dense_apply(X[2], M, P, p), atol=1e-12)
+
+    def test_shape_check(self):
+        with pytest.raises(ParameterError):
+            dense_apply(np.zeros(10), 16, 4, 1)
+
+
+class TestDenseApplyAll:
+    def test_structure(self, rng):
+        M, P = 32, 4
+        S = rng.standard_normal((P, M))
+        T, r = dense_apply_all(S, M, P)
+        np.testing.assert_array_equal(T[0], S[0])
+        np.testing.assert_allclose(r, S[1:].sum(axis=1), atol=1e-12)
+
+    def test_shape_check(self):
+        with pytest.raises(ParameterError):
+            dense_apply_all(np.zeros((3, 16)), 16, 4)

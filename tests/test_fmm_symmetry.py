@@ -1,0 +1,93 @@
+import numpy as np
+import pytest
+
+from repro.fmm import operators as ops
+from repro.fmm.symmetry import (
+    exchange_matrix,
+    m2l_is_persymmetric,
+    m2l_unique_entries,
+    m2m_matrix_symmetric,
+    m2m_plus_from_minus,
+    operator_storage_savings,
+    s2t_lags_from_half,
+    s2t_lags_half,
+)
+
+
+class TestExchange:
+    def test_involution(self):
+        J = exchange_matrix(6)
+        np.testing.assert_array_equal(J @ J, np.eye(6))
+
+    def test_reverses(self):
+        J = exchange_matrix(4)
+        np.testing.assert_array_equal(J @ np.arange(4.0), [3, 2, 1, 0])
+
+
+class TestM2MMirror:
+    @pytest.mark.parametrize("Q", [2, 4, 8, 16, 24])
+    def test_equals_direct_builder(self, Q):
+        np.testing.assert_allclose(
+            m2m_matrix_symmetric(Q), ops.m2m_matrix(Q), atol=1e-13
+        )
+
+    def test_mirror_relation_explicit(self):
+        Q = 8
+        full = ops.m2m_matrix(Q)
+        minus, plus = full[:, :Q], full[:, Q:]
+        np.testing.assert_allclose(m2m_plus_from_minus(minus), plus, atol=1e-13)
+
+
+class TestS2TReversal:
+    @pytest.mark.parametrize("P,ML,N", [(4, 8, 512), (8, 16, 2048), (16, 4, 1024), (32, 8, 1 << 13)])
+    def test_rebuild_matches_direct(self, P, ML, N):
+        np.testing.assert_allclose(
+            s2t_lags_from_half(P, ML, N), ops.s2t_lags(P, ML, N), atol=1e-11
+        )
+
+    def test_half_generation_is_half(self):
+        half = s2t_lags_half(8, 16, 2048)
+        assert half.shape[0] == 4  # p = 1..4 of 7 kernels
+
+    def test_paper_identity(self):
+        """S2T_{P-p}(k) = -S2T_p(-(k+1)) directly from the cot formula."""
+        P, ML, N = 8, 4, 256
+        lags = ops.s2t_lags(P, ML, N)
+        nlag = lags.shape[1]
+        center = 2 * ML - 1
+        for p in range(1, P):
+            for k in range(-(2 * ML - 1), 2 * ML - 1):
+                lhs = lags[(P - p) - 1, center + k]
+                rhs = -lags[p - 1, center - (k + 1)]
+                assert lhs == pytest.approx(rhs, rel=1e-12), (p, k)
+
+
+class TestM2LPersymmetry:
+    @pytest.mark.parametrize("level", [3, 4, 6])
+    def test_level_tensors(self, level):
+        K = ops.m2l_level_tensor(level, P=8, Q=10, N=1 << 14)
+        assert m2l_is_persymmetric(K)
+
+    @pytest.mark.parametrize("B", [2, 3, 4])
+    def test_base_tensors(self, B):
+        K = ops.m2l_base_tensor(B, P=8, Q=10, N=1 << 14)
+        assert m2l_is_persymmetric(K)
+
+    def test_detects_asymmetry(self):
+        K = np.arange(16.0).reshape(4, 4)
+        assert not m2l_is_persymmetric(K)
+
+    def test_unique_entry_count(self):
+        # pairs (i,j) <-> (Q-1-j, Q-1-i); anti-diagonal fixed
+        for Q in (2, 4, 7, 16):
+            assert m2l_unique_entries(Q) == (Q * Q + Q) // 2
+
+
+class TestStorageSavings:
+    def test_meaningful_fraction(self):
+        s = operator_storage_savings(P=256, ML=64, Q=16, levels=10)
+        assert 0.3 < s["total_fraction"] < 0.8
+
+    def test_all_positive(self):
+        s = operator_storage_savings(P=16, ML=16, Q=8, levels=3)
+        assert all(v > 0 for v in s.values())

@@ -1,0 +1,118 @@
+import pytest
+
+from repro.fmm.tree import Tree1D
+from repro.util.validation import ParameterError
+
+
+class TestConstruction:
+    def test_levels(self):
+        t = Tree1D(M=256, ML=16, B=2)
+        assert t.L == 4
+        assert t.num_leaves == 16
+
+    def test_l_equals_b_allowed(self):
+        t = Tree1D(M=64, ML=16, B=2)
+        assert t.L == t.B == 2
+
+    def test_rejects_b_below_2(self):
+        with pytest.raises(ParameterError):
+            Tree1D(M=256, ML=16, B=1)
+
+    def test_rejects_b_above_l(self):
+        with pytest.raises(ParameterError):
+            Tree1D(M=256, ML=16, B=5)
+
+    def test_rejects_ml_gt_m(self):
+        with pytest.raises(ParameterError):
+            Tree1D(M=16, ML=32, B=2)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ParameterError):
+            Tree1D(M=100, ML=10, B=2)
+
+    def test_rejects_g_not_dividing_base(self):
+        with pytest.raises(ParameterError):
+            Tree1D(M=256, ML=16, B=2, G=8)  # 2^2 < 8
+
+    def test_g8_needs_b3(self):
+        Tree1D(M=256, ML=16, B=3, G=8)
+
+
+class TestLevels:
+    def test_boxes_at(self):
+        t = Tree1D(M=256, ML=16, B=2)
+        assert t.boxes_at(4) == 16
+        assert t.boxes_at(2) == 4
+
+    def test_boxes_at_bounds(self):
+        t = Tree1D(M=256, ML=16, B=2)
+        with pytest.raises(ParameterError):
+            t.boxes_at(5)
+        with pytest.raises(ParameterError):
+            t.boxes_at(1)
+
+    def test_m2m_levels(self):
+        t = Tree1D(M=256, ML=16, B=2)
+        assert t.levels_m2m() == [3, 2]
+
+    def test_m2l_levels_exclude_base(self):
+        t = Tree1D(M=256, ML=16, B=2)
+        assert t.levels_m2l() == [4, 3]
+
+    def test_l2l_levels(self):
+        t = Tree1D(M=256, ML=16, B=2)
+        assert t.levels_l2l() == [2, 3]
+
+    def test_l_equals_b_no_hierarchy(self):
+        t = Tree1D(M=64, ML=16, B=2)
+        assert t.levels_m2m() == []
+        assert t.levels_m2l() == []
+        assert t.levels_l2l() == []
+
+    def test_kernel_launch_inventory_fig2(self):
+        """L - B = 10 gives the paper's 35-launch inventory."""
+        t = Tree1D(M=1 << 19, ML=64, B=3)  # the Figure 2 configuration
+        assert t.L == 13 and t.L - t.B == 10
+        launches = (
+            1                          # S2M
+            + len(t.levels_m2m())      # M2M
+            + 1                        # S2T
+            + len(t.levels_m2l()) + 1  # M2L-ell + M2L-B
+            + 1                        # reduce
+            + len(t.levels_l2l())      # L2L
+            + 1                        # L2T
+        )
+        assert launches == 35
+
+
+class TestOwnership:
+    def test_box_range_partition(self):
+        t = Tree1D(M=256, ML=16, B=2, G=4)
+        ranges = [t.box_range(4, g) for g in range(4)]
+        assert ranges == [(0, 4), (4, 8), (8, 12), (12, 16)]
+
+    def test_boxes_local(self):
+        t = Tree1D(M=256, ML=16, B=2, G=4)
+        assert t.boxes_local(4) == 4
+        assert t.boxes_local(2) == 1
+
+    def test_owner_of_cyclic(self):
+        t = Tree1D(M=256, ML=16, B=2, G=4)
+        assert t.owner_of(4, 0) == 0
+        assert t.owner_of(4, 15) == 3
+        assert t.owner_of(4, 16) == 0  # wraps
+        assert t.owner_of(4, -1) == 3
+
+    def test_bad_device(self):
+        t = Tree1D(M=256, ML=16, B=2, G=4)
+        with pytest.raises(ParameterError):
+            t.box_range(4, 4)
+
+    def test_children_of_owned_parents_are_owned(self):
+        """The no-comm property of M2M/L2L."""
+        t = Tree1D(M=1 << 10, ML=16, B=3, G=4)
+        for ell in t.levels_m2m():
+            for g in range(4):
+                b0, b1 = t.box_range(ell, g)
+                c0, c1 = t.box_range(ell + 1, g)
+                assert (c0, c1) == (2 * b0, 2 * b1)

@@ -1,0 +1,51 @@
+import json
+
+import numpy as np
+import pytest
+
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import dual_p100_nvlink
+
+
+@pytest.fixture
+def traced():
+    cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+    Distributed1DFFT(1 << 16, cl).run()
+    return cl
+
+
+class TestChromeTrace:
+    def test_event_per_op(self, traced):
+        events = traced.trace().to_chrome_trace()
+        assert len(events) == len(traced.ledger)
+
+    def test_event_schema(self, traced):
+        ev = traced.trace().to_chrome_trace()[0]
+        assert ev["ph"] == "X"
+        assert set(ev) >= {"name", "cat", "pid", "tid", "ts", "dur", "args"}
+
+    def test_timestamps_microseconds(self, traced):
+        events = traced.trace().to_chrome_trace()
+        recs = list(traced.ledger)
+        assert events[3]["ts"] == pytest.approx(recs[3].start * 1e6)
+        assert events[3]["dur"] == pytest.approx(recs[3].duration * 1e6)
+
+    def test_pids_are_devices(self, traced):
+        pids = {e["pid"] for e in traced.trace().to_chrome_trace()}
+        assert pids == {0, 1}
+
+    def test_streams_get_distinct_tids(self, traced):
+        events = traced.trace().to_chrome_trace()
+        by_stream = {}
+        for e in events:
+            by_stream.setdefault((e["pid"], e["args"]["stream"]), set()).add(e["tid"])
+        # each (device, stream) maps to exactly one tid
+        assert all(len(tids) == 1 for tids in by_stream.values())
+
+    def test_save_loads_as_json(self, traced, tmp_path):
+        path = tmp_path / "trace.json"
+        traced.trace().save_chrome_trace(path)
+        doc = json.loads(path.read_text())
+        assert "traceEvents" in doc
+        assert len(doc["traceEvents"]) == len(traced.ledger)

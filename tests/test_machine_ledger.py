@@ -1,0 +1,97 @@
+import pytest
+
+from repro.machine.ledger import Ledger, OpRecord
+
+
+def rec(**kw):
+    base = dict(
+        device=0, stream="compute", kind="gemm", name="S2M",
+        start=0.0, duration=1.0, flops=10.0, mops=5.0,
+    )
+    base.update(kw)
+    return OpRecord(**base)
+
+
+class TestOpRecord:
+    def test_end(self):
+        assert rec(start=1.0, duration=2.0).end == pytest.approx(3.0)
+
+    def test_frozen(self):
+        r = rec()
+        with pytest.raises(Exception):
+            r.start = 5.0
+
+
+class TestLedger:
+    def test_append_and_len(self):
+        l = Ledger()
+        l.append(rec())
+        l.append(rec(name="S2T"))
+        assert len(l) == 2
+
+    def test_rejects_unknown_kind(self):
+        l = Ledger()
+        with pytest.raises(ValueError):
+            l.append(rec(kind="teleport"))
+
+    def test_filters(self):
+        l = Ledger()
+        l.append(rec(device=0, name="a"))
+        l.append(rec(device=1, name="a", kind="comm"))
+        l.append(rec(device=1, name="b", stream="comm"))
+        assert len(l.records(device=1)) == 2
+        assert len(l.records(kind="comm")) == 1
+        assert len(l.records(name="a")) == 2
+        assert len(l.records(stream="comm")) == 1
+        assert len(l.records(device=1, name="a")) == 1
+
+    def test_total(self):
+        l = Ledger()
+        l.append(rec(flops=3.0))
+        l.append(rec(flops=4.0))
+        assert l.total("flops") == pytest.approx(7.0)
+
+    def test_time_by_name(self):
+        l = Ledger()
+        l.append(rec(name="a", duration=1.0))
+        l.append(rec(name="a", duration=2.0))
+        l.append(rec(name="b", duration=5.0))
+        t = l.time_by_name()
+        assert t["a"] == pytest.approx(3.0)
+        assert t["b"] == pytest.approx(5.0)
+
+    def test_flops_and_mops_by_name(self):
+        l = Ledger()
+        l.append(rec(name="a", flops=1.0, mops=2.0))
+        l.append(rec(name="a", flops=1.0, mops=2.0))
+        assert l.flops_by_name()["a"] == pytest.approx(2.0)
+        assert l.mops_by_name()["a"] == pytest.approx(4.0)
+
+    def test_comm_bytes_by_name_skips_zero(self):
+        l = Ledger()
+        l.append(rec(name="x"))
+        l.append(rec(name="halo", kind="comm", comm_bytes=100.0))
+        assert "x" not in l.comm_bytes_by_name()
+        assert l.comm_bytes_by_name()["halo"] == pytest.approx(100.0)
+
+    def test_launch_count_excludes_comm(self):
+        l = Ledger()
+        l.append(rec())
+        l.append(rec(kind="comm"))
+        l.append(rec(kind="host"))
+        assert l.launch_count() == 1
+        assert l.launch_count(compute_only=False) == 3
+
+    def test_span(self):
+        l = Ledger()
+        assert l.span() == (0.0, 0.0)
+        l.append(rec(start=1.0, duration=1.0))
+        l.append(rec(start=0.5, duration=0.2))
+        assert l.span() == (0.5, 2.0)
+
+    def test_merge(self):
+        a, b = Ledger(), Ledger()
+        a.append(rec())
+        b.append(rec())
+        a.merge(b)
+        assert len(a) == 2

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.machine.roofline import gemm_performance, gemm_shape_cost, op_time
+from repro.machine.spec import K40C, P100
+from repro.util.validation import ParameterError
+
+
+class TestOpTime:
+    def test_compute_bound(self):
+        # high intensity: time = W / gamma
+        t = op_time(P100, flops=1e12, mops=1.0, dtype=np.float64, kind="gemm")
+        assert t == pytest.approx(1e12 / P100.gamma_d)
+
+    def test_memory_bound(self):
+        # low intensity: time = D / beta
+        t = op_time(P100, flops=1.0, mops=3.6e9, dtype=np.float64, kind="gemm")
+        assert t == pytest.approx(3.6e9 / P100.beta, rel=1e-6)
+
+    def test_eq3_crossover(self):
+        # at intensity gamma/beta the two limits agree
+        intensity = P100.gamma_d / P100.beta
+        W = 1e9
+        D = W / intensity
+        t = op_time(P100, W, D, np.float64, kind="gemm")
+        assert t == pytest.approx(W / P100.gamma_d)
+
+    def test_zero_work(self):
+        assert op_time(P100, 0.0, 0.0, np.float64) == 0.0
+
+    def test_pure_copy(self):
+        t = op_time(P100, 0.0, 360e9, np.float64, kind="copy")
+        assert t == pytest.approx(1.0)
+
+    def test_batched_derate_applied(self):
+        t_plain = op_time(P100, 1e12, 1.0, np.float64, kind="gemm")
+        t_batched = op_time(P100, 1e12, 1.0, np.float64, kind="batched_gemm")
+        assert t_batched == pytest.approx(t_plain / P100.batched_gemm_derate)
+
+    def test_custom_derate_applied(self):
+        t_plain = op_time(P100, 1e12, 1.0, np.float64, kind="gemm")
+        t_custom = op_time(P100, 1e12, 1.0, np.float64, kind="custom")
+        assert t_custom == pytest.approx(t_plain / P100.custom_kernel_derate)
+
+    def test_single_precision_faster(self):
+        td = op_time(P100, 1e12, 1.0, np.complex128, kind="gemm")
+        tf = op_time(P100, 1e12, 1.0, np.complex64, kind="gemm")
+        assert tf < td
+
+    def test_latency_flag(self):
+        base = op_time(P100, 1e9, 1e6, np.float64)
+        with_lat = op_time(P100, 1e9, 1e6, np.float64, include_latency=True)
+        assert with_lat == pytest.approx(base + P100.launch_latency)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            op_time(P100, -1.0, 0.0, np.float64)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            op_time(P100, 1.0, 1.0, np.float64, kind="quantum")
+
+
+class TestGemmShapeCost:
+    def test_flops(self):
+        f, _ = gemm_shape_cost(4, 5, 6, batch=3, itemsize=8)
+        assert f == pytest.approx(2 * 4 * 5 * 6 * 3)
+
+    def test_c_factor_scales(self):
+        f1, b1 = gemm_shape_cost(4, 5, 6, 1, 8, c_factor=1)
+        f2, b2 = gemm_shape_cost(4, 5, 6, 1, 8, c_factor=2)
+        assert f2 == pytest.approx(2 * f1)
+        assert b2 > b1
+
+
+class TestGemmPerformance:
+    """The Figure 1 curves."""
+
+    def test_saturates_near_gamma(self):
+        perf = gemm_performance(P100, 1024, np.float32)
+        assert 0.8 * P100.gamma_f < perf <= P100.gamma_f
+
+    def test_small_sizes_slower(self):
+        assert gemm_performance(P100, 32, np.float32) < gemm_performance(
+            P100, 512, np.float32
+        )
+
+    def test_batched_below_plain_on_k40(self):
+        """Fig 1(a): the cuBLAS 8.0 batched deficit."""
+        plain = gemm_performance(K40C, 512, np.float32)
+        batched = gemm_performance(K40C, 512, np.float32, batched=True)
+        assert batched < 0.7 * plain
+
+    def test_batched_tracks_plain_on_p100(self):
+        """Fig 1(b): near-parity on P100."""
+        plain = gemm_performance(P100, 512, np.float32)
+        batched = gemm_performance(P100, 512, np.float32, batched=True)
+        assert batched > 0.85 * plain
+
+    def test_double_below_single(self):
+        assert gemm_performance(P100, 512, np.float64) < gemm_performance(
+            P100, 512, np.float32
+        )
+
+    def test_monotone_ramp(self):
+        perfs = [gemm_performance(P100, n, np.float64) for n in (16, 64, 256, 1024)]
+        assert all(b >= a for a, b in zip(perfs, perfs[1:]))

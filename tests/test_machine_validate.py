@@ -1,0 +1,124 @@
+"""Schedule audits: every pipeline, plus hypothesis-driven random programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.distributed import FmmFftDistributed
+from repro.core.plan import FmmFftPlan
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.dfft.fft2d import Distributed2DFFT
+from repro.fmm.distributed import DistributedFMM
+from repro.fmm.plan import FmmGeometry
+from repro.machine.cluster import VirtualCluster
+from repro.machine.ledger import Ledger, OpRecord
+from repro.machine.spec import dgx1_p100, dual_p100_nvlink, p100_nvlink_node
+from repro.machine.validate import assert_valid_schedule, audit_schedule
+
+
+class TestAuditor:
+    def test_empty_ok(self):
+        assert audit_schedule(Ledger()).ok
+
+    def test_detects_overlap(self):
+        l = Ledger()
+        l.append(OpRecord(0, "compute", "gemm", "a", 0.0, 2.0))
+        l.append(OpRecord(0, "compute", "gemm", "b", 1.0, 2.0))
+        rep = audit_schedule(l)
+        assert not rep.ok
+        assert any("overlaps" in v for v in rep.violations)
+
+    def test_detects_out_of_order_issue(self):
+        l = Ledger()
+        l.append(OpRecord(0, "compute", "gemm", "a", 5.0, 1.0))
+        l.append(OpRecord(0, "compute", "gemm", "b", 1.0, 1.0))
+        assert any("out of order" in v for v in audit_schedule(l).violations)
+
+    def test_detects_negative_duration(self):
+        l = Ledger()
+        l.append(OpRecord(0, "compute", "gemm", "a", 0.0, -1.0))
+        assert any("negative" in v for v in audit_schedule(l).violations)
+
+    def test_distinct_streams_may_overlap(self):
+        l = Ledger()
+        l.append(OpRecord(0, "compute", "gemm", "a", 0.0, 2.0))
+        l.append(OpRecord(0, "other", "gemm", "b", 1.0, 2.0))
+        l.append(OpRecord(1, "compute", "gemm", "c", 0.5, 2.0))
+        assert audit_schedule(l).ok
+
+    def test_assert_raises(self):
+        l = Ledger()
+        l.append(OpRecord(0, "compute", "gemm", "a", 0.0, 2.0))
+        l.append(OpRecord(0, "compute", "gemm", "b", 1.0, 2.0))
+        with pytest.raises(AssertionError):
+            assert_valid_schedule(l)
+
+
+class TestPipelinesProduceValidSchedules:
+    @pytest.mark.parametrize("G", [1, 2, 4, 8])
+    def test_fft1d(self, G):
+        cl = VirtualCluster(p100_nvlink_node(G), execute=False)
+        Distributed1DFFT(1 << 18, cl).run()
+        assert_valid_schedule(cl.ledger)
+
+    @pytest.mark.parametrize("G", [1, 2, 4])
+    def test_fft2d(self, G):
+        cl = VirtualCluster(p100_nvlink_node(G), execute=False)
+        Distributed2DFFT(1 << 10, 1 << 8, cl).run()
+        assert_valid_schedule(cl.ledger)
+
+    @pytest.mark.parametrize("G", [2, 8])
+    def test_fmm(self, G):
+        geom = FmmGeometry.create(M=1 << 14, P=64, ML=64, B=3, Q=16, G=G)
+        cl = VirtualCluster(p100_nvlink_node(G), execute=False)
+        DistributedFMM(geom, cl).run(staged=True)
+        assert_valid_schedule(cl.ledger)
+
+    def test_fmmfft_fused(self):
+        plan = FmmFftPlan.create(N=1 << 20, P=256, ML=64, B=3, Q=16, G=2,
+                                 build_operators=False)
+        cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+        FmmFftDistributed(plan, cl).run()
+        assert_valid_schedule(cl.ledger)
+
+    def test_dgx1(self):
+        plan = FmmFftPlan.create(N=1 << 20, P=256, ML=64, B=3, Q=16, G=8,
+                                 build_operators=False)
+        cl = VirtualCluster(dgx1_p100(), execute=False)
+        FmmFftDistributed(plan, cl).run()
+        assert_valid_schedule(cl.ledger)
+
+
+class TestRandomPrograms:
+    """Hypothesis drives random op sequences through the engine; the
+    resulting schedule must always be physically valid."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["launch", "sendrecv", "alltoall", "allgather"]),
+                st.integers(0, 3),          # device / src
+                st.integers(0, 3),          # dst
+                st.floats(1e3, 1e9),        # work size
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.booleans(),
+    )
+    def test_random_program_valid(self, program, chain_events):
+        cl = VirtualCluster(p100_nvlink_node(4), execute=False)
+        last = None
+        for kind, a, b, size in program:
+            after = [last] if (chain_events and last is not None) else ()
+            if kind == "launch":
+                last = cl.launch(a, "k", "gemm", size, size, np.float64, after=after)
+            elif kind == "sendrecv":
+                last = cl.sendrecv(a, b, size, "msg", after=after)
+            elif kind == "alltoall":
+                last = cl.alltoall(size, "a2a", after=after)[0]
+            else:
+                last = cl.allgather(size, "ag", after=after)[0]
+        assert_valid_schedule(cl.ledger)
+        assert cl.wall_time() >= 0.0

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.core.distributed import FmmFftDistributed
+from repro.core.plan import FmmFftPlan
+from repro.dfft.fft1d import Distributed1DFFT
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import dgx1_p100, dual_k40c_pcie, dual_p100_nvlink
+from repro.model.energy import (
+    EnergyReport,
+    EnergySpec,
+    PASCAL_ENERGY,
+    energy_ratio,
+    ledger_energy,
+    run_energy,
+)
+from repro.util.validation import ParameterError
+
+
+class TestEnergySpec:
+    def test_defaults_positive(self):
+        s = PASCAL_ENERGY
+        assert s.per_flop > 0 and s.idle_power > 0
+
+    def test_comm_costs_dominate_ordering(self):
+        """Moving a byte off-device costs more than through memory,
+        which costs more than a flop — the premise of the energy claim."""
+        s = PASCAL_ENERGY
+        assert s.per_fallback_byte > s.per_link_byte > s.per_mem_byte > s.per_flop
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            EnergySpec(per_flop=0.0)
+
+
+class TestEnergyReport:
+    def test_totals(self):
+        r = EnergyReport(compute=1.0, memory=2.0, communication=3.0, idle=4.0)
+        assert r.dynamic == pytest.approx(6.0)
+        assert r.total == pytest.approx(10.0)
+
+    def test_ratio(self):
+        a = EnergyReport(1, 1, 1, 1)
+        b = EnergyReport(0.5, 0.5, 0.5, 0.5)
+        assert energy_ratio(a, b) == pytest.approx(2.0)
+
+
+class TestRunEnergy:
+    def _fmmfft(self, spec, N=1 << 24):
+        plan = FmmFftPlan.create(N=N, P=1 << 9, ML=64, B=3, Q=16,
+                                 G=spec.num_devices, build_operators=False)
+        cl = VirtualCluster(spec, execute=False)
+        FmmFftDistributed(plan, cl).run()
+        return run_energy(cl)
+
+    def _baseline(self, spec, N=1 << 24):
+        cl = VirtualCluster(spec, execute=False)
+        Distributed1DFFT(N, cl).run()
+        return run_energy(cl)
+
+    def test_components_positive(self):
+        e = self._baseline(dual_p100_nvlink())
+        assert e.compute > 0 and e.memory > 0 and e.communication > 0 and e.idle > 0
+
+    def test_fmmfft_spends_more_compute_less_comm(self):
+        spec = dual_p100_nvlink()
+        e_f, e_b = self._fmmfft(spec), self._baseline(spec)
+        assert e_f.compute > e_b.compute          # the FMM does real work
+        assert e_f.communication < 0.5 * e_b.communication  # ~3x fewer bytes
+
+    def test_energy_win_grows_with_g(self):
+        """The paper's energy argument: savings track comm costs."""
+        r2 = energy_ratio(self._baseline(dual_p100_nvlink()),
+                          self._fmmfft(dual_p100_nvlink()))
+        r8 = energy_ratio(self._baseline(dgx1_p100()), self._fmmfft(dgx1_p100()))
+        assert r8 > r2
+        assert r8 > 1.2
+
+    def test_pcie_pair_uses_fallback_cost(self):
+        e_k40 = self._baseline(dual_k40c_pcie())
+        e_p100 = self._baseline(dual_p100_nvlink())
+        # same bytes, costlier joules per byte on PCIe
+        assert e_k40.communication > e_p100.communication
+
+    def test_negative_wall_time_rejected(self):
+        from repro.machine.ledger import Ledger
+
+        with pytest.raises(ParameterError):
+            ledger_energy(Ledger(), dual_p100_nvlink(), -1.0)

@@ -1,0 +1,85 @@
+import numpy as np
+import pytest
+
+from repro.core.plan import FmmFftPlan
+from repro.core.single import fmmfft_relative_error
+from repro.model.error import (
+    choose_q,
+    predicted_error,
+    speedup_from_reduced_q,
+)
+from repro.util.prng import random_signal
+from repro.util.validation import ParameterError
+
+
+class TestPredictedError:
+    def test_monotone_until_floor(self):
+        errs = [predicted_error(Q) for Q in range(2, 25)]
+        assert all(b <= a for a, b in zip(errs, errs[1:]))
+
+    def test_floor_double(self):
+        assert predicted_error(24) == pytest.approx(7e-16)
+
+    def test_floor_single(self):
+        assert predicted_error(24, "complex64") == pytest.approx(4e-8)
+
+    def test_matches_measured_sweep(self):
+        """The model must track the real Figure 9 sweep within ~one
+        order of magnitude across the convergent range."""
+        x = random_signal(1 << 12, seed=3)
+        for Q in (4, 8, 12, 16):
+            plan = FmmFftPlan.create(N=1 << 12, P=16, ML=16, B=2, Q=Q)
+            measured = fmmfft_relative_error(x, plan)
+            ratio = predicted_error(Q) / max(measured, 1e-300)
+            assert 0.1 < ratio < 30.0, (Q, measured, predicted_error(Q))
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ParameterError):
+            predicted_error(0)
+
+
+class TestChooseQ:
+    @pytest.mark.parametrize("tol,expected_band", [
+        (1e-4, (4, 6)), (1e-6, (6, 10)), (1e-10, (10, 14)), (1e-13, (14, 18)),
+    ])
+    def test_reasonable_orders(self, tol, expected_band):
+        q = choose_q(tol)
+        assert expected_band[0] <= q <= expected_band[1]
+
+    def test_even_by_default(self):
+        for tol in (1e-3, 1e-5, 1e-9, 1e-12):
+            assert choose_q(tol) % 2 == 0
+
+    def test_odd_allowed(self):
+        qs = {choose_q(10.0**-k, even=False) for k in range(3, 13)}
+        assert any(q % 2 == 1 for q in qs)
+
+    def test_chosen_q_actually_meets_tolerance(self):
+        """End-to-end: the order the model picks delivers the accuracy."""
+        x = random_signal(1 << 12, seed=4)
+        for tol in (1e-4, 1e-7, 1e-11):
+            q = choose_q(tol)
+            plan = FmmFftPlan.create(N=1 << 12, P=16, ML=16, B=2, Q=q)
+            assert fmmfft_relative_error(x, plan) < tol
+
+    def test_single_precision_floor_respected(self):
+        with pytest.raises(ParameterError):
+            choose_q(1e-12, "complex64")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            choose_q(0.0)
+
+
+class TestReducedQSpeedup:
+    def test_paper_band(self):
+        """Section 6.3.4: 'FFTs that produce less accurate results are
+        then potentially faster by 1.5x' — e.g. Q=16 -> Q=6-8."""
+        assert 1.1 < speedup_from_reduced_q(16, 8) < 1.6
+
+    def test_identity(self):
+        assert speedup_from_reduced_q(16, 16) == pytest.approx(1.0)
+
+    def test_rejects_increase(self):
+        with pytest.raises(ParameterError):
+            speedup_from_reduced_q(8, 16)

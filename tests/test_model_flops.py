@@ -1,0 +1,96 @@
+import math
+
+import pytest
+
+from repro.fmm.plan import FmmGeometry
+from repro.model.flops import (
+    fft_local_flops,
+    fmm_flops_collected,
+    fmm_stage_flops,
+    fmm_total_flops,
+)
+
+
+def geom(M=1 << 14, P=256, ML=64, B=3, Q=16, G=2):
+    return FmmGeometry.create(M=M, P=P, ML=ML, B=B, Q=Q, G=G)
+
+
+class TestStageFlops:
+    def test_paper_stage_formulas(self):
+        """Each count against the Section 5.1 list, literally."""
+        g = geom()
+        C, t = 2, g.tree
+        f = fmm_stage_flops(g, "complex128")
+        P, Q, ML, G, L, B = g.P, g.Q, g.ML, 2, t.L, t.B
+        assert f["S2M"] == pytest.approx(2 * C * ML * (1 << L) * (P - 1) * Q / G)
+        assert f["L2T"] == f["S2M"]
+        assert f["S2T"] == pytest.approx(6 * C * ML**2 * (1 << L) * (P - 1) / G)
+        m2m_total = sum(v for k, v in f.items() if k.startswith("M2M"))
+        assert m2m_total == pytest.approx(
+            4 * C * ((1 << L) / G - (1 << B) / G) * (P - 1) * Q * Q
+        )
+        m2l_total = sum(
+            v for k, v in f.items() if k.startswith("M2L-") and k != "M2L-B"
+        )
+        assert m2l_total == pytest.approx(
+            6 * C * ((1 << (L + 1)) / G - (1 << (B + 1)) / G) * (P - 1) * Q * Q
+        )
+        assert f["M2L-B"] == pytest.approx(
+            2 * C * (1 << B) * ((1 << B) - 3) * (P - 1) * Q * Q / G
+        )
+        assert f["REDUCE"] == pytest.approx(C * (1 << B) * (P - 1) * Q)
+
+    def test_real_input_halves(self):
+        g = geom()
+        fc = fmm_total_flops(g, "complex128")
+        fr = fmm_total_flops(g, "float64")
+        assert fc == pytest.approx(2 * fr)
+
+    def test_l_equals_b_only_base_stages(self):
+        g = geom(M=512, ML=64, B=3)  # L == 3 == B
+        f = fmm_stage_flops(g)
+        assert not any(k.startswith("M2M") for k in f)
+        assert not any(k.startswith("L2L") for k in f)
+        assert set(k for k in f if k.startswith("M2L")) == {"M2L-B"}
+
+
+class TestCollectedForm:
+    @pytest.mark.parametrize("P,ML,B,G", [
+        (256, 64, 3, 2), (256, 64, 2, 1), (1024, 32, 4, 4), (128, 128, 3, 8),
+    ])
+    def test_collected_matches_exact(self, P, ML, B, G):
+        """For B > log2 G the collected expression is exact."""
+        N = 1 << 24
+        g = FmmGeometry.create(M=N // P, P=P, ML=ML, B=B, Q=16, G=G)
+        exact = fmm_total_flops(g, "complex128")
+        collected = fmm_flops_collected(N, P, ML, 16, G, B, "complex128")
+        assert collected == pytest.approx(exact, rel=1e-12)
+
+    def test_edelman_agreement(self):
+        """Section 5.1: 'the first three terms agree precisely with
+        Edelman's flop count when P = G, C = 2, and B = 2' — the
+        dominant terms are C[20 Q^2/ML + 6 ML + 4Q](1 - 1/P) N/G."""
+        N, P, ML, Q = 1 << 24, 4, 32, 16
+        G, C, B = 4, 2, 2
+        main = C * (20 * Q * Q / ML + 6 * ML + 4 * Q) * (1 - 1 / P) * N / G
+        total = fmm_flops_collected(N, P, ML, Q, G, B, "complex128")
+        assert total == pytest.approx(main, rel=0.05)
+
+    def test_weak_p_dependence(self):
+        """Doubling P barely changes total FMM flops (Section 5.1)."""
+        N = 1 << 24
+        f1 = fmm_flops_collected(N, 256, 64, 16, 2)
+        f2 = fmm_flops_collected(N, 512, 64, 16, 2)
+        assert abs(f2 - f1) / f1 < 0.02
+
+
+class TestFftFlops:
+    def test_count(self):
+        assert fft_local_flops(1 << 20, 2, "complex128") == pytest.approx(
+            5 * (1 << 19) * 20
+        )
+
+    def test_real_halves(self):
+        assert fft_local_flops(1 << 16, 1, "float64") == pytest.approx(
+            fft_local_flops(1 << 16, 1, "complex128") / 2
+        )

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.fmm.plan import FmmGeometry
+from repro.model.comm import (
+    communication_savings,
+    fft1d_comm_bytes,
+    fft2d_comm_bytes,
+    fmm_comm_bytes,
+    fmm_comm_elements_paper,
+)
+from repro.model.mops import fmm_mops_collected, fmm_stage_mops, fmm_total_mops
+from repro.model.roofline import fmm_intensity
+
+
+def geom(M=1 << 14, P=256, ML=64, B=3, Q=16, G=2):
+    return FmmGeometry.create(M=M, P=P, ML=ML, B=B, Q=Q, G=G)
+
+
+class TestMops:
+    def test_all_stages_present(self):
+        m = fmm_stage_mops(geom())
+        for stage in ("S2M", "L2T", "S2T", "M2L-B", "REDUCE"):
+            assert stage in m and m[stage] > 0
+
+    def test_total_positive_and_consistent(self):
+        g = geom()
+        assert fmm_total_mops(g) == pytest.approx(sum(fmm_stage_mops(g).values()))
+
+    def test_complex_roughly_doubles_data_terms(self):
+        g = geom()
+        mc = fmm_total_mops(g, "complex128")
+        mr = fmm_total_mops(g, "float64")
+        assert 1.5 < mc / mr < 2.1
+
+    def test_collected_same_order(self):
+        """The paper's Section 5.3 form is a lower bound of the same
+        magnitude as the exact accounting."""
+        g = geom()
+        exact = fmm_total_mops(g)
+        collected = fmm_mops_collected(g.N, g.P, g.ML, g.Q, 2, g.B)
+        assert 0.3 < collected / exact < 2.0
+
+    def test_paper_intensity_regime(self):
+        """Section 6: 'the model intensity for the FMM-FFT in this regime
+        is only 7.8 flops/byte in double precision' (N=2^27 config)."""
+        g = FmmGeometry.create(M=1 << 19, P=256, ML=64, B=3, Q=16, G=2)
+        intensity = fmm_intensity(g, "complex128")
+        assert 5.0 < intensity < 12.0
+
+
+class TestComm:
+    def test_paper_element_counts(self):
+        g = geom()
+        e = fmm_comm_elements_paper(g, "complex128")
+        C, P, Q, ML = 2, g.P, g.Q, g.ML
+        L, B = g.tree.L, g.tree.B
+        assert e["S"] == pytest.approx(2 * C * (P - 1) * ML)
+        assert e["M-ell"] == pytest.approx(4 * C * (L - B) * (P - 1) * Q)
+        assert e["M-B"] == pytest.approx((1 << B) * C * (P - 1) * Q)
+
+    def test_g1_no_comm(self):
+        g = geom(G=1)
+        assert sum(fmm_comm_bytes(g).values()) == 0.0
+        assert fft1d_comm_bytes(1 << 20, 1) == 0.0
+        assert fft2d_comm_bytes(1 << 20, 1) == 0.0
+
+    def test_fft1d_three_times_fft2d(self):
+        N, G = 1 << 24, 4
+        assert fft1d_comm_bytes(N, G) == pytest.approx(3 * fft2d_comm_bytes(N, G))
+
+    def test_fmm_comm_tiny_vs_flops(self):
+        """'This is extremely small compared to the number of flops
+        performed' (Section 5.2)."""
+        from repro.model.flops import fmm_total_flops
+
+        g = FmmGeometry.create(M=1 << 19, P=256, ML=64, B=3, Q=16, G=2)
+        comm = sum(fmm_comm_bytes(g).values())
+        flops = fmm_total_flops(g)
+        assert flops / comm > 1e3
+
+    def test_headline_communication_savings(self):
+        """'reduce the communication required ... by up to 3x'."""
+        N, G = 1 << 27, 2
+        g = FmmGeometry.create(M=N // 256, P=256, ML=64, B=3, Q=16, G=G)
+        savings = communication_savings(N, G, g)
+        assert 2.5 < savings < 3.01

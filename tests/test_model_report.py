@@ -1,0 +1,62 @@
+import pytest
+
+from repro.fmm.plan import FmmGeometry
+from repro.machine.spec import dual_p100_nvlink
+from repro.model.report import pipeline_summary, render_model_report, stage_breakdown
+
+
+@pytest.fixture
+def geom():
+    return FmmGeometry.create(M=1 << 14, P=256, ML=64, B=3, Q=16, G=2)
+
+
+@pytest.fixture
+def spec():
+    return dual_p100_nvlink()
+
+
+class TestStageBreakdown:
+    def test_contains_all_stage_classes(self, geom, spec):
+        text = stage_breakdown(geom, spec).render()
+        for stage in ("S2M", "S2T", "M2L-B", "L2T", "REDUCE"):
+            assert stage in text
+
+    def test_bound_column_sensible(self, geom, spec):
+        text = stage_breakdown(geom, spec).render()
+        assert "compute" in text and "memory" in text
+
+    def test_s2t_is_compute_bound(self, geom, spec):
+        """S2T's on-the-fly operators give it high intensity (Sec 5.3)."""
+        lines = [l for l in stage_breakdown(geom, spec).render().splitlines()
+                 if l.startswith("S2T")]
+        assert lines and "compute" in lines[0]
+
+
+class TestPipelineSummary:
+    def test_rows_present(self, geom, spec):
+        text = pipeline_summary(geom, spec).render()
+        for row in ("FMM stage", "2D FFT stage", "FMM-FFT total",
+                    "1D FFT baseline", "model speedup"):
+            assert row in text
+
+    def test_comm_reduction_shown(self, geom, spec):
+        text = pipeline_summary(geom, spec).render()
+        assert "less comm" in text
+
+    def test_single_device_no_comm(self, spec):
+        from repro.machine.spec import p100_nvlink_node
+
+        geom = FmmGeometry.create(M=1 << 14, P=256, ML=64, B=3, Q=16, G=1)
+        text = pipeline_summary(geom, p100_nvlink_node(1)).render()
+        assert "0 B" in text
+
+
+class TestFullReport:
+    def test_concatenates_both(self, geom, spec):
+        text = render_model_report(geom, spec)
+        assert "FMM stage model" in text
+        assert "Pipeline model summary" in text
+
+    def test_single_precision(self, geom, spec):
+        text = render_model_report(geom, spec, "complex64")
+        assert "complex64" in text

@@ -1,0 +1,81 @@
+import json
+
+import pytest
+
+from repro.machine.spec import dual_p100_nvlink
+from repro.model.search import find_fastest
+from repro.model.tuning import TuningCache, tuned_params
+from repro.util.validation import ParameterError
+
+
+@pytest.fixture
+def spec():
+    return dual_p100_nvlink()
+
+
+class TestCache:
+    def test_miss_then_hit(self, spec):
+        cache = TuningCache()
+        assert cache.get(1 << 14, spec.name) is None
+        p1 = tuned_params(1 << 14, spec, cache=cache)
+        assert (1 << 14, spec.name, "complex128") in cache
+        p2 = tuned_params(1 << 14, spec, cache=cache)
+        assert p1 == p2
+        assert len(cache) == 1
+
+    def test_hit_avoids_search(self, spec, monkeypatch):
+        cache = TuningCache()
+        tuned_params(1 << 14, spec, cache=cache)
+
+        def boom(*a, **kw):  # pragma: no cover - should not run
+            raise AssertionError("search ran on a cache hit")
+
+        monkeypatch.setattr("repro.model.tuning.find_fastest", boom)
+        assert tuned_params(1 << 14, spec, cache=cache) is not None
+
+    def test_no_cache_passthrough(self, spec):
+        p = tuned_params(1 << 14, spec)
+        assert {"P", "ML", "B", "Q"} <= set(p)
+
+    def test_keys_distinguish_dtype(self, spec):
+        cache = TuningCache()
+        tuned_params(1 << 14, spec, dtype="complex128", cache=cache)
+        tuned_params(1 << 14, spec, dtype="complex64", cache=cache)
+        assert len(cache) == 2
+
+    def test_returned_params_are_copies(self, spec):
+        cache = TuningCache()
+        p = tuned_params(1 << 14, spec, cache=cache)
+        p["P"] = -1
+        assert cache.get(1 << 14, spec.name)["P"] != -1
+
+
+class TestPersistence:
+    def test_roundtrip(self, spec, tmp_path):
+        cache = TuningCache()
+        tuned_params(1 << 14, spec, cache=cache)
+        path = tmp_path / "wisdom.json"
+        cache.save(path)
+        loaded = TuningCache.load(path)
+        assert loaded.get(1 << 14, spec.name) == cache.get(1 << 14, spec.name)
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(ParameterError):
+            TuningCache.loads("not json{")
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ParameterError):
+            TuningCache.loads(json.dumps({"version": 99, "entries": {}}))
+
+    def test_rejects_malformed_entry(self):
+        doc = {"version": 1, "entries": {"x": {"params": {"P": 4}}}}
+        with pytest.raises(ParameterError):
+            TuningCache.loads(json.dumps(doc))
+
+    def test_result_values_persisted(self, spec):
+        cache = TuningCache()
+        r = find_fastest(1 << 14, spec)
+        cache.put(1 << 14, spec.name, "complex128", r)
+        loaded = TuningCache.loads(cache.dumps())
+        key = f"{1 << 14}|{spec.name}|complex128"
+        assert loaded.entries[key]["fmmfft_time"] == pytest.approx(r.fmmfft_time)

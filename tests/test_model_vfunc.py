@@ -1,0 +1,35 @@
+import pytest
+
+from repro.model.vfunc import v_levels, v_levels_exact, v_top
+
+
+class TestVTop:
+    def test_above_log_g(self):
+        assert v_top(3, 2) == pytest.approx(4.0)
+        assert v_top(5, 4) == pytest.approx(8.0)
+
+    def test_at_or_below_log_g(self):
+        # B <= log2 G: v = B + 1 - log G
+        assert v_top(3, 8) == pytest.approx(1.0)
+        assert v_top(2, 8) == pytest.approx(0.0)
+        assert v_top(2, 4) == pytest.approx(1.0)
+
+    def test_g1(self):
+        assert v_top(4, 1) == pytest.approx(16.0)
+
+
+class TestVLevels:
+    @pytest.mark.parametrize("L,B,G", [
+        (10, 2, 1), (10, 3, 2), (10, 5, 4), (8, 4, 8), (13, 3, 2), (6, 2, 2),
+        (10, 2, 8), (10, 3, 8),
+    ])
+    def test_closed_form_matches_term_sum(self, L, B, G):
+        """The paper's displayed identity, against the literal sum."""
+        assert v_levels(L, B, G) == pytest.approx(v_levels_exact(L, B, G))
+
+    def test_empty_sum(self):
+        assert v_levels(4, 4, 2) == pytest.approx(0.0)
+
+    def test_requires_l_above_log_g(self):
+        with pytest.raises(ValueError):
+            v_levels(2, 2, 8)

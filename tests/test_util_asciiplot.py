@@ -1,0 +1,53 @@
+import pytest
+
+from repro.util.asciiplot import ascii_bar_chart, ascii_series
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = ascii_bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # max value gets full width
+        assert lines[0].count("#") == 5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "empty" in ascii_bar_chart([], [])
+
+    def test_all_zero(self):
+        out = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+
+class TestSeries:
+    def test_renders_markers(self):
+        out = ascii_series([1, 2, 3], {"s1": [1.0, 2.0, 3.0]}, height=5)
+        assert "o" in out
+        assert "s1" in out
+
+    def test_two_series_legend(self):
+        out = ascii_series([1, 2], {"a": [1, 2], "b": [2, 1]}, height=4)
+        assert "o=a" in out and "x=b" in out
+
+    def test_log_scale(self):
+        out = ascii_series([1, 2, 3], {"s": [1.0, 10.0, 100.0]}, height=5, logy=True)
+        assert "s" in out
+
+    def test_log_scale_nonpositive(self):
+        out = ascii_series([1], {"s": [-1.0]}, height=3, logy=True)
+        assert "no positive data" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], {"s": [1.0]})
+
+    def test_no_series(self):
+        assert "no series" in ascii_series([1], {})
+
+    def test_nan_skipped(self):
+        out = ascii_series([1, 2], {"s": [float("nan"), 1.0]}, height=3)
+        assert "s" in out

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.util.bitmath import (
+    ceil_div,
+    ilog2,
+    is_pow2,
+    next_pow2,
+    pow2_divisors,
+    split_pow2,
+)
+
+
+class TestIsPow2:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1 << 20, 1 << 40])
+    def test_powers(self, n):
+        assert is_pow2(n)
+
+    @pytest.mark.parametrize("n", [0, -1, -4, 3, 5, 6, 7, 12, 1000, (1 << 20) + 1])
+    def test_non_powers(self, n):
+        assert not is_pow2(n)
+
+    def test_non_int(self):
+        assert not is_pow2(2.0)
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("k", range(0, 40, 3))
+    def test_roundtrip(self, k):
+        assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("n", [0, 3, 6, -8])
+    def test_rejects(self, n):
+        with pytest.raises(ValueError):
+            ilog2(n)
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (1023, 1024), (1025, 2048)]
+    )
+    def test_values(self, n, expected):
+        assert next_pow2(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 3, 0), (1, 3, 1), (3, 3, 1), (4, 3, 2), (9, 3, 3)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_nonpositive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestPow2Divisors:
+    def test_of_power(self):
+        assert pow2_divisors(16) == [1, 2, 4, 8, 16]
+
+    def test_bounds(self):
+        assert pow2_divisors(64, low=4, high=16) == [4, 8, 16]
+
+    def test_of_mixed(self):
+        assert pow2_divisors(24) == [1, 2, 4, 8]
+
+    def test_rejects(self):
+        with pytest.raises(ValueError):
+            pow2_divisors(0)
+
+
+class TestSplitPow2:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, (1, 0)), (8, (1, 3)), (24, (3, 3)), (7, (7, 0))]
+    )
+    def test_values(self, n, expected):
+        assert split_pow2(n) == expected
+
+    def test_reconstruct(self):
+        for n in range(1, 200):
+            odd, k = split_pow2(n)
+            assert odd % 2 == 1
+            assert odd * (1 << k) == n

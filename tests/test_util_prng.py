@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.util.prng import random_signal, structured_signal
+
+
+class TestRandomSignal:
+    def test_deterministic(self):
+        a = random_signal(128, seed=7)
+        b = random_signal(128, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes(self):
+        assert not np.array_equal(random_signal(64, seed=0), random_signal(64, seed=1))
+
+    @pytest.mark.parametrize("dt", ["float32", "float64", "complex64", "complex128"])
+    def test_dtype(self, dt):
+        x = random_signal(32, dtype=dt)
+        assert x.dtype == np.dtype(dt)
+
+    def test_range(self):
+        x = random_signal(1000, dtype="complex128", seed=3)
+        assert np.abs(x.real).max() <= 1.0
+        assert np.abs(x.imag).max() <= 1.0
+
+    def test_real_has_no_imag(self):
+        x = random_signal(32, dtype="float64")
+        assert x.dtype.kind == "f"
+
+
+class TestStructuredSignal:
+    @pytest.mark.parametrize("kind", ["tones", "chirp", "bandlimited", "gaussian"])
+    def test_kinds(self, kind):
+        x = structured_signal(256, kind=kind)
+        assert x.shape == (256,)
+        assert np.isfinite(x).all()
+
+    def test_tones_spectrum_sparse(self):
+        x = structured_signal(512, kind="tones", seed=1)
+        spec = np.abs(np.fft.fft(x))
+        big = (spec > 0.1 * spec.max()).sum()
+        assert big <= 5
+
+    def test_bandlimited_is_lowpass(self):
+        x = structured_signal(512, kind="bandlimited", seed=1)
+        spec = np.abs(np.fft.fft(x))
+        assert spec[512 // 4 :].max() < 1e-10 * max(spec.max(), 1.0) + 1e-12
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            structured_signal(64, kind="nope")
+
+    def test_real_dtype(self):
+        x = structured_signal(64, kind="gaussian", dtype="float32")
+        assert x.dtype == np.float32

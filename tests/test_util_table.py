@@ -1,0 +1,71 @@
+import pytest
+
+from repro.util.table import Table, format_bytes, format_count, format_time
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "t,frag",
+        [
+            (0.0, "0 s"),
+            (5e-9, "ns"),
+            (5e-6, "us"),
+            (5e-3, "ms"),
+            (5.0, "s"),
+        ],
+    )
+    def test_units(self, t, frag):
+        assert frag in format_time(t)
+
+    def test_nan(self):
+        assert format_time(float("nan")) == "nan"
+
+    def test_value(self):
+        assert format_time(1.5e-3) == "1.50 ms"
+
+
+class TestFormatBytes:
+    def test_small(self):
+        assert format_bytes(12) == "12 B"
+
+    def test_kib(self):
+        assert "KiB" in format_bytes(2048)
+
+    def test_gib(self):
+        assert "GiB" in format_bytes(3 * 2**30)
+
+
+class TestFormatCount:
+    def test_plain(self):
+        assert format_count(999) == "999"
+
+    @pytest.mark.parametrize("v,unit", [(2e3, "K"), (2e6, "M"), (2e9, "G"), (2e12, "T")])
+    def test_units(self, v, unit):
+        assert unit in format_count(v)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["a", "bbbb"], title="demo")
+        t.add_row([1, 2])
+        t.add_row(["long-cell", 3])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        # header, separator, and rows share the same width
+        assert len(set(len(l) for l in lines[1:])) <= 2
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([3.14159265])
+        assert "3.142" in t.render()
+
+    def test_row_length_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_no_title(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert t.render().splitlines()[0].startswith("a")

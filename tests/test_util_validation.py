@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ParameterError,
+    c_factor,
+    check_dtype,
+    check_in,
+    check_multiple,
+    check_positive,
+    check_pow2,
+    check_range,
+    complex_dtype_for,
+    is_complex_dtype,
+    real_dtype_for,
+)
+
+
+class TestChecks:
+    def test_positive_passes(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("v", [0, -1, -0.5])
+    def test_positive_rejects(self, v):
+        with pytest.raises(ParameterError, match="x"):
+            check_positive("x", v)
+
+    def test_pow2(self):
+        check_pow2("n", 64)
+        with pytest.raises(ParameterError, match="n"):
+            check_pow2("n", 12)
+
+    def test_multiple(self):
+        check_multiple("a", 12, 4)
+        with pytest.raises(ParameterError, match="a"):
+            check_multiple("a", 13, 4)
+
+    def test_multiple_names_divisor(self):
+        with pytest.raises(ParameterError, match="G"):
+            check_multiple("a", 13, 4, "G")
+
+    def test_range(self):
+        check_range("b", 3, 2, 5)
+        with pytest.raises(ParameterError):
+            check_range("b", 1, 2, 5)
+        with pytest.raises(ParameterError):
+            check_range("b", 6, 2, 5)
+
+    def test_range_open_ended(self):
+        check_range("b", 100, 2, None)
+        check_range("b", -100, None, 0)
+
+    def test_in(self):
+        check_in("mode", "a", ("a", "b"))
+        with pytest.raises(ParameterError):
+            check_in("mode", "c", ("a", "b"))
+
+
+class TestDtypes:
+    @pytest.mark.parametrize("dt", ["float32", "float64", "complex64", "complex128"])
+    def test_supported(self, dt):
+        assert check_dtype("d", dt) == np.dtype(dt)
+
+    @pytest.mark.parametrize("dt", ["int32", "float16", "object"])
+    def test_rejected(self, dt):
+        with pytest.raises(ParameterError):
+            check_dtype("d", dt)
+
+    def test_complex_for(self):
+        assert complex_dtype_for("float32") == np.complex64
+        assert complex_dtype_for("float64") == np.complex128
+        assert complex_dtype_for("complex64") == np.complex64
+
+    def test_real_for(self):
+        assert real_dtype_for("complex64") == np.float32
+        assert real_dtype_for("complex128") == np.float64
+        assert real_dtype_for("float64") == np.float64
+
+    def test_is_complex(self):
+        assert is_complex_dtype("complex64")
+        assert not is_complex_dtype("float64")
+
+    def test_c_factor(self):
+        assert c_factor("float64") == 1
+        assert c_factor("complex128") == 2
+        assert c_factor("complex64") == 2
