@@ -25,6 +25,8 @@ Quick start::
     X = fmmfft(x)                 # == np.fft.fft(x) to ~1e-14
 """
 
+from __future__ import annotations
+
 from repro.core.api import fmmfft, fourier_transform, ifmmfft
 from repro.core.plan import FmmFftPlan
 from repro.core.single import fmmfft_single

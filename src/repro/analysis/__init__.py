@@ -1,0 +1,37 @@
+"""Static and dynamic analyses over the reproduction.
+
+Two legs:
+
+- :mod:`repro.analysis.hazards` — a TSan-style hazard sanitizer for the
+  virtual cluster.  It rebuilds the happens-before graph of a recorded
+  run (stream program order + event wait edges) and proves the
+  paper's overlap claims race-free: any pair of ops that touch the same
+  buffer, overlap in simulated time, and have no ordering edge is a
+  RAW/WAR/WAW hazard the real CUDA code could hit.
+- :mod:`repro.analysis.lint` — repo-specific AST lint rules enforcing
+  the numeric discipline the kernels depend on (dtype hygiene, declared
+  launch data-flow, no stray ``np.fft``, no mutable defaults, no bare
+  ``except``, postponed annotations).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hazards import (
+    Hazard,
+    HazardError,
+    HazardReport,
+    find_hazards,
+    happens_before,
+)
+from repro.analysis.lint import LintIssue, lint_file, lint_paths
+
+__all__ = [
+    "Hazard",
+    "HazardError",
+    "HazardReport",
+    "LintIssue",
+    "find_hazards",
+    "happens_before",
+    "lint_file",
+    "lint_paths",
+]

@@ -1,0 +1,244 @@
+"""Hazard sanitizer for the virtual cluster — TSan for the simulator.
+
+The engine in :mod:`repro.machine.cluster` reconstructs a *parallel*
+timeline from a sequential coordinator: ``fn`` closures always run in a
+valid order, so the numerics are right even when the declared event
+dependencies are wrong.  A missing ``wait`` on a halo-exchange event
+would therefore go unnoticed — and silently report an overlap speedup
+(Figure 2) the real CUDA implementation could never achieve.
+
+This module closes that loophole.  From any :class:`Ledger` it builds
+the **happens-before graph**:
+
+- *program order* — ops on the same (device, stream) queue are ordered
+  by issue (comm records order on the sender's tx engine);
+- *wait edges* — op B recorded ``waits=(uid_A, ...)`` because it was
+  launched ``after=[event of A]``.
+
+Two ops conflict when their declared access sets share a buffer on the
+same device and at least one access is a write (sub-resources
+``"buf#part"`` conflict with the whole buffer ``"buf"`` but not with
+each other).  A conflict whose intervals overlap in simulated time with
+no happens-before path between them is reported as a RAW/WAR/WAW
+hazard.  Structural defects are reported alongside: waits on events
+that complete after the waiter starts, dangling wait references, and
+every physical-schedule violation found by
+:func:`repro.machine.validate.audit_schedule` (stream double-booking,
+issue-order rewinds, incoherent collectives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.machine.ledger import Ledger, OpRecord
+from repro.machine.validate import audit_schedule
+from repro.util.table import format_time
+
+
+class HazardError(RuntimeError):
+    """Raised in strict (``--sanitize``) mode when a run is not race-free."""
+
+
+def buffers_conflict(a: str, b: str) -> bool:
+    """Whether two declared buffer names can alias.
+
+    Names are device-local.  ``"buf"`` denotes the whole buffer;
+    ``"buf#part"`` a disjoint sub-resource (a chunk of rows, one
+    pipeline stage's slice).  The whole buffer conflicts with any of its
+    parts; distinct parts of the same buffer do not conflict.
+    """
+    if a == b:
+        return True
+    return a.startswith(b + "#") or b.startswith(a + "#")
+
+
+def _root(key: str) -> str:
+    return key.split("#", 1)[0]
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """One data race between two recorded operations.
+
+    ``first`` is the op with the earlier start.  ``kind`` is RAW when
+    the earlier op writes and the later reads, WAR for the reverse, and
+    WAW when both write.
+    """
+
+    kind: str
+    device: int
+    buffer: str
+    first: OpRecord
+    second: OpRecord
+
+    def describe(self) -> str:
+        f, s = self.first, self.second
+        return (
+            f"{self.kind} dev{self.device} buffer {self.buffer!r}: "
+            f"{f.name} [{format_time(f.start)}, {format_time(f.end)}] overlaps "
+            f"{s.name} [{format_time(s.start)}, {format_time(s.end)}] "
+            "with no ordering edge"
+        )
+
+
+@dataclass
+class HazardReport:
+    """Outcome of a sanitizer pass over one ledger."""
+
+    hazards: list[Hazard] = field(default_factory=list)
+    defects: list[str] = field(default_factory=list)
+    num_ops: int = 0
+    num_edges: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.hazards and not self.defects
+
+    def render(self, limit: int = 40) -> str:
+        """Human-readable report (the ``repro analyze`` output)."""
+        head = (
+            f"hazard sanitizer: {self.num_ops} ops, {self.num_edges} "
+            f"happens-before edges"
+        )
+        if self.ok:
+            return head + " -- schedule certified race-free"
+        lines = [
+            head
+            + f" -- {len(self.hazards)} hazard(s), {len(self.defects)} defect(s)"
+        ]
+        for h in self.hazards[:limit]:
+            lines.append("  " + h.describe())
+        if len(self.hazards) > limit:
+            lines.append(f"  ... {len(self.hazards) - limit} more hazard(s)")
+        for d in self.defects[:limit]:
+            lines.append("  defect: " + d)
+        if len(self.defects) > limit:
+            lines.append(f"  ... {len(self.defects) - limit} more defect(s)")
+        return "\n".join(lines)
+
+    def raise_if_any(self) -> None:
+        if not self.ok:
+            raise HazardError(self.render())
+
+
+def happens_before(ledger: Ledger) -> list[tuple[int, int]]:
+    """All happens-before edges of a run as (uid, uid) pairs.
+
+    Program-order edges chain consecutive ops on each (device, stream)
+    queue; wait edges come from each record's ``waits``.  The graph is a
+    DAG: uids are assigned in issue order and every edge points forward.
+    """
+    edges: list[tuple[int, int]] = []
+    last_on_stream: dict[tuple[int, str], int] = {}
+    known = {r.uid for r in ledger}
+    for r in ledger:
+        key = (r.device, r.stream)
+        if key in last_on_stream:
+            edges.append((last_on_stream[key], r.uid))
+        last_on_stream[key] = r.uid
+        for w in r.waits:
+            if w in known and w != r.uid:
+                edges.append((w, r.uid))
+    return edges
+
+
+def find_hazards(ledger: Ledger, include_audit: bool = True) -> HazardReport:
+    """Sanitize one run: data hazards + structural defects.
+
+    Parameters
+    ----------
+    ledger:
+        The recorded run.
+    include_audit:
+        Also fold in :func:`repro.machine.validate.audit_schedule`'s
+        physical-schedule violations (double-booked comm engines, issue
+        order rewinds) as defects.
+    """
+    recs = list(ledger)
+    report = HazardReport(num_ops=len(recs))
+    if not recs:
+        return report
+
+    pos = {r.uid: i for i, r in enumerate(recs)}
+
+    # -- structural defects -------------------------------------------------
+    span = max(abs(r.end) for r in recs) or 1.0
+    eps = 1e-9 * span
+    for r in recs:
+        for w in r.waits:
+            if w not in pos:
+                report.defects.append(
+                    f"{r.name} (uid {r.uid}) waits on unknown op uid {w}"
+                )
+                continue
+            pred = recs[pos[w]]
+            if pred.end > r.start + eps:
+                report.defects.append(
+                    f"{r.name} (uid {r.uid}) starts at {format_time(r.start)} "
+                    f"but waits on {pred.name} (uid {pred.uid}) completing at "
+                    f"{format_time(pred.end)} -- wait on a future event"
+                )
+    if include_audit:
+        report.defects.extend(audit_schedule(ledger).violations)
+
+    # -- happens-before reachability ---------------------------------------
+    edges = happens_before(ledger)
+    report.num_edges = len(edges)
+    preds: list[list[int]] = [[] for _ in recs]
+    for a, b in edges:
+        if a in pos and b in pos:
+            preds[pos[b]].append(pos[a])
+    # ancestors as bitmasks; edges all point forward in issue order
+    anc = [0] * len(recs)
+    for j in range(len(recs)):
+        m = 0
+        for p in preds[j]:
+            m |= anc[p] | (1 << p)
+        anc[j] = m
+
+    def ordered(i: int, j: int) -> bool:
+        return bool((anc[j] >> i) & 1) or bool((anc[i] >> j) & 1)
+
+    # -- data hazards -------------------------------------------------------
+    # Bucket accesses by (device, buffer root) so only plausible pairs
+    # are compared; within a bucket do the exact pairwise check.
+    buckets: dict[tuple[int, str], list[tuple[int, str, bool]]] = {}
+    for i, r in enumerate(recs):
+        for dev, key in r.reads:
+            buckets.setdefault((dev, _root(key)), []).append((i, key, False))
+        for dev, key in r.writes:
+            buckets.setdefault((dev, _root(key)), []).append((i, key, True))
+
+    seen: set[tuple[int, int, str, str]] = set()
+    for (dev, _), accesses in buckets.items():
+        for x in range(len(accesses)):
+            i, ki, wi = accesses[x]
+            a = recs[i]
+            for y in range(x + 1, len(accesses)):
+                j, kj, wj = accesses[y]
+                if i == j or not (wi or wj):
+                    continue
+                if not buffers_conflict(ki, kj):
+                    continue
+                b = recs[j]
+                # strict interval overlap; zero-duration ops never race
+                if min(a.end, b.end) - max(a.start, b.start) <= 0.0:
+                    continue
+                if ordered(i, j):
+                    continue
+                first, second = (a, b) if (a.start, i) <= (b.start, j) else (b, a)
+                fw = wi if first is a else wj
+                sw = wj if first is a else wi
+                kind = "WAW" if (fw and sw) else ("RAW" if fw else "WAR")
+                sig = (min(i, j), max(i, j), min(ki, kj), max(ki, kj))
+                if sig in seen:
+                    continue
+                seen.add(sig)
+                report.hazards.append(
+                    Hazard(kind=kind, device=dev,
+                           buffer=ki if len(ki) >= len(kj) else kj,
+                           first=first, second=second)
+                )
+    report.hazards.sort(key=lambda h: (h.first.start, h.second.start))
+    return report

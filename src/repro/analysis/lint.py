@@ -1,0 +1,261 @@
+"""Repo-specific AST lint: the numeric discipline the kernels rely on.
+
+Six rules, each targeting a failure mode this codebase has actually to
+guard against (run with ``python tools/lint.py src``):
+
+``future-annotations``
+    Every module starts with ``from __future__ import annotations`` so
+    ``X | None`` annotations stay cheap strings on all supported
+    Pythons.
+``bare-except``
+    ``except:`` swallows ``KeyboardInterrupt`` during hour-long sweeps;
+    catch something.
+``mutable-default``
+    ``def f(x=[])`` aliases state across calls — plans and caches here
+    are long-lived, so this bites.
+``np-fft``
+    ``np.fft`` may only be called inside :mod:`repro.fftcore` (the
+    backend and its reference oracles).  Everything else must route
+    through the library's own transforms, or the reproduction silently
+    stops reproducing.
+``dtype-discipline``
+    In kernel paths (``core/``, ``dfft/``, ``fmm/``, ``fftcore/``):
+    no dtype-less ``np.zeros``/``np.empty``/``np.ones``/``np.full``
+    (defaults to float64 and upcasts complex64 pipelines), and no bare
+    ``np.complex128`` literal unless the same statement also handles
+    ``np.complex64`` (i.e. it is explicit precision dispatch, not a
+    silent upcast).
+``launch-declares``
+    Every ``.launch`` / ``.sendrecv`` / ``.alltoall`` / ``.allgather``
+    call site passes ``reads=`` and ``writes=`` so the hazard sanitizer
+    can certify the schedule (and the call site documents its
+    data-flow).
+
+Any rule can be waived on one line with ``# lint: allow-<rule>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: rules that only apply under these path fragments (kernel code)
+KERNEL_PATHS = ("repro/core/", "repro/dfft/", "repro/fmm/", "repro/fftcore/")
+
+#: the only package allowed to touch numpy.fft
+NP_FFT_ALLOWED = "repro/fftcore/"
+
+#: VirtualCluster methods that must declare their buffer access sets
+COMM_METHODS = ("launch", "sendrecv", "alltoall", "allgather")
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)")
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _pragmas(source: str) -> dict[int, set[str]]:
+    """Per-line ``# lint: allow-<rule>`` waivers."""
+    out: dict[int, set[str]] = {}
+    for i, text in enumerate(source.splitlines(), start=1):
+        for m in _PRAGMA.finditer(text):
+            out.setdefault(i, set()).add(m.group(1))
+    return out
+
+
+def _is_np(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+def _in_kernel_path(path: str) -> bool:
+    p = path.replace("\\", "/")
+    return any(frag in p for frag in KERNEL_PATHS)
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor that applies every node-local rule."""
+
+    def __init__(self, path: str, source: str, pragmas: dict[int, set[str]]):
+        self.path = path
+        self.source = source
+        self.pragmas = pragmas
+        self.issues: list[LintIssue] = []
+        self.kernel = _in_kernel_path(path)
+        self.np_fft_ok = NP_FFT_ALLOWED in path.replace("\\", "/")
+        self._stmt: ast.stmt | None = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if rule in self.pragmas.get(line, ()):
+            return
+        self.issues.append(LintIssue(self.path, line, rule, message))
+
+    def visit(self, node: ast.AST):  # noqa: D102 - ast.NodeVisitor hook
+        if isinstance(node, ast.stmt):
+            prev, self._stmt = self._stmt, node
+            super().visit(node)
+            self._stmt = prev
+        else:
+            super().visit(node)
+
+    # -- rules ---------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(node, "bare-except",
+                         "bare 'except:' -- name the exception(s)")
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for d in defaults:
+            bad = isinstance(d, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(d, ast.Call)
+                and isinstance(d.func, ast.Name)
+                and d.func.id in ("list", "dict", "set")
+            )
+            if bad:
+                self._report(
+                    d, "mutable-default",
+                    f"mutable default argument in {getattr(node, 'name', '<lambda>')}()",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # np.fft containment
+        if node.attr == "fft" and _is_np(node.value) and not self.np_fft_ok:
+            self._report(
+                node, "np-fft",
+                "numpy.fft outside repro.fftcore -- use the library's own "
+                "transforms or repro.fftcore.oracle",
+            )
+        # silent complex64 -> complex128 upcasts in kernel code
+        if node.attr == "complex128" and _is_np(node.value) and self.kernel:
+            seg = ""
+            if self._stmt is not None:
+                seg = ast.get_source_segment(self.source, self._stmt) or ""
+            if "complex64" not in seg:
+                self._report(
+                    node, "dtype-discipline",
+                    "bare np.complex128 in a kernel path -- dispatch on the "
+                    "input dtype (or waive with '# lint: allow-dtype-discipline')",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # dtype-less allocations in kernel code
+            if (
+                self.kernel
+                and func.attr in ("zeros", "empty", "ones", "full")
+                and _is_np(func.value)
+            ):
+                need_pos = 3 if func.attr == "full" else 2
+                has_dtype = any(kw.arg == "dtype" for kw in node.keywords) or (
+                    len(node.args) >= need_pos
+                )
+                if not has_dtype:
+                    self._report(
+                        node, "dtype-discipline",
+                        f"np.{func.attr} without an explicit dtype defaults to "
+                        "float64 and silently upcasts complex64 pipelines",
+                    )
+            # launch/comm call sites must declare their data-flow
+            if func.attr in COMM_METHODS:
+                kws = {kw.arg for kw in node.keywords}
+                missing = [k for k in ("reads", "writes") if k not in kws]
+                if missing:
+                    self._report(
+                        node, "launch-declares",
+                        f".{func.attr}() call missing {'/'.join(missing)} "
+                        "declaration(s) -- the hazard sanitizer needs every "
+                        "op's buffer access sets",
+                    )
+        self.generic_visit(node)
+
+
+def _check_future_import(path: str, tree: ast.Module,
+                         pragmas: dict[int, set[str]]) -> list[LintIssue]:
+    body = tree.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]  # module docstring carries no annotations
+    if not body:
+        return []
+    for node in body:
+        if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+            if any(a.name == "annotations" for a in node.names):
+                return []
+    if "future-annotations" in pragmas.get(1, ()):
+        return []
+    return [LintIssue(path, 1, "future-annotations",
+                      "missing 'from __future__ import annotations'")]
+
+
+def lint_source(path: str, source: str) -> list[LintIssue]:
+    """Lint one module's source text; returns sorted issues."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [LintIssue(path, exc.lineno or 1, "syntax",
+                          f"could not parse: {exc.msg}")]
+    pragmas = _pragmas(source)
+    checker = _Checker(path, source, pragmas)
+    checker.visit(tree)
+    issues = checker.issues + _check_future_import(path, tree, pragmas)
+    issues.sort(key=lambda i: (i.path, i.line, i.rule))
+    return issues
+
+
+def lint_file(path: str | Path) -> list[LintIssue]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(str(p), p.read_text(encoding="utf-8"))
+
+
+def iter_py_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    """Expand files/directories into the .py files beneath them."""
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str | Path]) -> list[LintIssue]:
+    """Lint every .py file under the given files/directories."""
+    issues: list[LintIssue] = []
+    for f in iter_py_files(paths):
+        issues.extend(lint_file(f))
+    return issues

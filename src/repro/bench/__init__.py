@@ -6,6 +6,8 @@ figure); this package holds the reusable machinery so each target reads
 like the experiment it reproduces.
 """
 
+from __future__ import annotations
+
 from repro.bench.figures import emit, fastest_config_sweep, out_dir
 from repro.bench.report import build_report, write_report
 from repro.bench import data

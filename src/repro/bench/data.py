@@ -5,6 +5,8 @@ recorded here so every benchmark table can show paper-vs-reproduction in
 one view.  Keys are log2(N).
 """
 
+from __future__ import annotations
+
 #: Figure 3 speedups over 1D cuFFTXT, by system and precision.
 PAPER_FIG3 = {
     ("2xK40c", "complex64"): {

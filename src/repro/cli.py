@@ -12,6 +12,9 @@ Commands
     The Figure 3 sweep for one system/precision as a table.
 ``profile``
     Render the Figure-2-style simulated timeline for a configuration.
+``analyze``
+    Profile a pipeline and run the hazard sanitizer over its recorded
+    schedule (``--sanitize`` raises on any data race or defect).
 ``model``
     Section 5 model breakdown (per-stage roofline) for a configuration.
 ``energy``
@@ -136,6 +139,46 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(cl.trace().stage_summary().render())
     return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Profile a pipeline and run the hazard sanitizer over its schedule."""
+    from repro.machine.multinode import multinode_p100
+
+    N = _parse_size(args.n)
+    if args.nodes > 1:
+        spec = multinode_p100(args.nodes, gpus_per_node=args.gpus_per_node)
+    else:
+        spec = preset(args.system)
+    cl = VirtualCluster(spec, execute=False)
+
+    if args.pipeline == "fmmfft":
+        r = find_fastest(N, spec, dtype=args.dtype)
+        plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
+                                 build_operators=False, **r.params)
+        FmmFftDistributed(plan, cl).run()
+        print(f"params: {r.params}")
+    elif args.pipeline == "fft1d":
+        Distributed1DFFT(N, cl, dtype=args.dtype).run()
+    elif args.pipeline == "fft2d":
+        from repro.dfft.fft2d import Distributed2DFFT
+        from repro.util.bitmath import ilog2
+
+        M = 1 << ((ilog2(N) + 1) // 2)
+        Distributed2DFFT(M, N // M, cl, dtype=args.dtype).run()
+    else:  # rfft
+        from repro.dfft.realfft import DistributedRealFFT
+
+        rdt = "float32" if args.dtype == "complex64" else "float64"
+        DistributedRealFFT(N, cl, dtype=rdt).run()
+
+    print(cl.trace().render_profile(width=args.width))
+    print()
+    report = cl.trace().hazards()
+    print(report.render())
+    if args.sanitize:
+        report.raise_if_any()
+    return 0 if report.ok else 1
 
 
 def cmd_model(args: argparse.Namespace) -> int:
@@ -274,6 +317,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="profile the six-step 1D FFT instead")
     pr.add_argument("--width", type=int, default=100)
     pr.set_defaults(fn=cmd_profile)
+
+    an = sub.add_parser("analyze", help="hazard-sanitize a simulated schedule")
+    an.add_argument("--pipeline", default="fmmfft",
+                    choices=["fmmfft", "fft1d", "fft2d", "rfft"])
+    an.add_argument("--n", default="2^20", help="size (e.g. 4096 or 2^20)")
+    an.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    an.add_argument("--nodes", type=int, default=1,
+                    help="> 1 analyzes a multi-node machine instead of --system")
+    an.add_argument("--gpus-per-node", type=int, default=4)
+    an.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    an.add_argument("--width", type=int, default=100)
+    an.add_argument("--sanitize", action="store_true",
+                    help="strict mode: raise HazardError on any finding")
+    an.set_defaults(fn=cmd_analyze)
 
     mo = sub.add_parser("model", help="Section 5 model breakdown")
     mo.add_argument("--n", default="2^24")

@@ -20,6 +20,8 @@ by a distributed M x P 2D FFT (one all-to-all), replacing the six-step
 - :mod:`repro.core.api` — one-call conveniences.
 """
 
+from __future__ import annotations
+
 from repro.core.plan import FmmFftPlan
 from repro.core.single import fmmfft_single
 from repro.core.distributed import FmmFftDistributed

@@ -118,7 +118,8 @@ class FmmFftDistributed:
                     c.dev(g)[key_t] = np.ascontiguousarray(
                         T.reshape(plan.P, mloc).T
                     )
-            cl.host_op(0, "relayout", relayout)
+            cl.host_op(0, "relayout", relayout,
+                       reads=[key_t], writes=[key_t])
 
         # The POST callback is always passed so its (fused) cost is charged;
         # it only actually executes on execute-mode clusters.

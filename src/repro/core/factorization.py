@@ -62,7 +62,7 @@ def apply_perm_mp(x: np.ndarray, M: int, P: int) -> np.ndarray:
 def perm_matrix(M: int, P: int) -> np.ndarray:
     """``Pi_{M,P}`` as a dense 0/1 matrix (tests and tiny N only)."""
     N = M * P
-    Pi = np.zeros((N, N))
+    Pi = np.zeros((N, N), dtype=np.float64)
     Pi[np.arange(N), perm_block_to_cyclic(M, P)] = 1.0
     return Pi
 

@@ -28,7 +28,7 @@ def dense_c_matrix(M: int, P: int, p: int) -> np.ndarray:
 def dense_h_matrix(M: int, P: int) -> np.ndarray:
     """``H_{P,M}``: block diagonal of I_M and the C_p (size N x N)."""
     N = M * P
-    H = np.zeros((N, N), dtype=np.complex128)
+    H = np.zeros((N, N), dtype=np.complex128)  # lint: allow-dtype-discipline (dense reference, tiny N)
     for p in range(P):
         H[p * M : (p + 1) * M, p * M : (p + 1) * M] = dense_c_matrix(M, P, p)
     return H

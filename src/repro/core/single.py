@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.kernels import post_process
 from repro.core.plan import FmmFftPlan
+from repro.fftcore.oracle import reference_fft
 from repro.fftcore.plan import LocalFFTPlan
 from repro.fmm.batched import BatchedFMM
 from repro.util.validation import ParameterError
@@ -79,5 +80,5 @@ def fmmfft_relative_error(
     (bottom) sweeps over Q.
     """
     got = fmmfft_single(x, plan, backend=backend)
-    ref = np.fft.fft(np.asarray(x).astype(np.complex128))
+    ref = reference_fft(x)
     return float(np.linalg.norm(got - ref) / np.linalg.norm(ref))

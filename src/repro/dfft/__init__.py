@@ -17,6 +17,8 @@ Both run real NumPy numerics in ``execute=True`` clusters and
 shape-determined timing in ``execute=False`` clusters.
 """
 
+from __future__ import annotations
+
 from repro.dfft.layout import BlockRows
 from repro.dfft.transpose import distributed_transpose
 from repro.dfft.fft1d import Distributed1DFFT

@@ -135,6 +135,10 @@ class Distributed1DFFT:
         if twiddle:
             flops += 6.0 * n * rows_chunk  # complex multiply per element
         for i in range(self.chunks):
+            # chunk i transforms row-chunk i in place: a disjoint
+            # sub-resource, so later chunks overlap the transpose of
+            # earlier ones without aliasing
+            bufs = [key] if self.chunks == 1 else [f"{key}#r{i}"]
             evs = []
             for g in range(cl.G):
                 ev = cl.launch(
@@ -142,6 +146,7 @@ class Distributed1DFFT:
                     dtype=self.dtype, stream="compute",
                     after=[after[g]] if i == 0 and after else (),
                     fn=data_fn if (i == 0 and g == 0) else None,
+                    reads=bufs, writes=bufs,
                 )
                 evs.append(ev)
             per_chunk.append(evs)
@@ -161,7 +166,12 @@ class Distributed1DFFT:
 
     # -- execution --------------------------------------------------------
 
-    def run(self, x: np.ndarray | None = None, key: str = "dfft1") -> np.ndarray | None:
+    def run(
+        self,
+        x: np.ndarray | None = None,
+        key: str = "dfft1",
+        after: list[Event] | None = None,
+    ) -> np.ndarray | None:
         """Execute the six-step pipeline.
 
         Parameters
@@ -171,6 +181,10 @@ class Distributed1DFFT:
             timing-only mode.
         key:
             Device buffer name prefix.
+        after:
+            Optional per-device events gating the first transpose — the
+            producer that filled ``key`` (e.g. the real-FFT pack stage).
+            Without this the opening all-to-all would race the producer.
 
         Returns
         -------
@@ -193,9 +207,11 @@ class Distributed1DFFT:
             for g in range(G):
                 cl.dev(g).alloc(key, lay_mp.local_shape(), self.dtype)
 
-        # (1) transpose #1: P-major -> M-major (no producer to overlap)
+        # (1) transpose #1: P-major -> M-major (gated on the producer of
+        # ``key`` when there is one; no compute to overlap either way)
         evs = distributed_transpose(
-            cl, key, key, lay_mp, self.dtype, name="transpose1", chunks=1
+            cl, key, key, lay_mp, self.dtype, name="transpose1", chunks=1,
+            after_chunks=[after] if after is not None else None,
         )
         # (2) P local FFTs of size M, chunked
         chunk_evs = self._chunked_row_fft(key, lay_pm, self._plan_M, "fftM", after=evs)

@@ -143,6 +143,7 @@ class Distributed2DFFT:
                     after=[evs[g]] if evs[g] is not None else (),
                     fn=(lambda c: self._apply_callback(c, key, load_callback))
                     if g == 0 else None,
+                    reads=[key], writes=[key],
                 )
                 new_evs.append(ev)
             evs = new_evs
@@ -162,6 +163,9 @@ class Distributed2DFFT:
         mops = fft_mops(P, batch=rows_chunk, itemsize=itemsize) / fft_small_n_efficiency(P)
         chunk_evs: list[list[Event]] = []
         for i in range(self.chunks):
+            # chunk i owns row-chunk i of ``key``: disjoint from the
+            # already-transposing earlier chunks
+            bufs = [key] if self.chunks == 1 else [f"{key}#r{i}"]
             es = []
             for g in range(G):
                 ev = cl.launch(
@@ -169,6 +173,7 @@ class Distributed2DFFT:
                     dtype=self.dtype, stream="compute",
                     after=[evs[g]] if i == 0 and evs[g] is not None else (),
                     fn=fft_p_fn if (i == 0 and g == 0) else None,
+                    reads=bufs, writes=bufs,
                 )
                 es.append(ev)
             chunk_evs.append(es)
@@ -194,6 +199,7 @@ class Distributed2DFFT:
                 g, name="fft2d.M", kind="fft", flops=flops_m, mops=mops_m,
                 dtype=self.dtype, stream="compute", after=[evs2[g]],
                 fn=fft_m_fn if g == 0 else None,
+                reads=[key], writes=[key],
             )
         cl.barrier()
         if cl.execute:

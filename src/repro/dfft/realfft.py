@@ -24,6 +24,7 @@ import numpy as np
 from repro.dfft.fft1d import Distributed1DFFT
 from repro.fftcore.twiddle import twiddles
 from repro.machine.cluster import VirtualCluster
+from repro.machine.stream import Event
 from repro.util.bitmath import is_pow2
 from repro.util.validation import ParameterError, check_multiple, check_pow2
 
@@ -82,28 +83,50 @@ class DistributedRealFFT:
             z = (x[0::2] + 1j * x[1::2]).astype(self.cdtype)
         else:
             z = None
-        # charge the pack pass (read x, write z) on each device
+        # charge the pack pass (read x, write z) on each device; the inner
+        # FFT's opening all-to-all must wait on it (it reads ``key``)
         itemr = self.rdtype.itemsize
-        for g in range(G):
+        ev_pack = [
             cl.launch(g, "rfft.pack", "copy", flops=0.0,
                       mops=(N / G) * itemr + blk * 2 * itemr,
-                      dtype=self.rdtype)
-        Zfull = self.inner.run(z, key=key)
+                      dtype=self.rdtype,
+                      reads=[f"{key}.x"], writes=[key])
+            for g in range(G)
+        ]
+        Zfull = self.inner.run(z, key=key, after=ev_pack)
 
-        # -- (3) mirror exchange + untangle --------------------------------
+        # -- (3) mirror exchange + untangle, pipelined in chunks ------------
+        # Each untangle chunk needs only its own slice of the mirror
+        # block, so chunk j's arithmetic overlaps chunk j+1's transfer —
+        # the same comm/compute overlap the transposes use, now with the
+        # dependency edges declared so the sanitizer can certify it.
         itemc = self.cdtype.itemsize
         if cl.execute:
             Z = np.asarray(Zfull).reshape(h)
-        for g in range(G):
-            # device g needs Z_{h-k} for its k-range: held by mirror device
-            mirror = (G - 1 - g) if G > 1 else 0
-            cl.sendrecv(g, mirror, blk * itemc, "rfft.mirror")
-        evs = [
-            cl.launch(g, "rfft.untangle", "custom",
-                      flops=10.0 * blk, mops=3 * blk * itemc,
-                      dtype=self.cdtype)
-            for g in range(G)
-        ]
+        C = self.inner.chunks
+        last: list[Event | None] = [None] * G
+        for j in range(C):
+            part = f"#m{j}" if C > 1 else ""
+            ev_mirror: list[Event | None] = [None] * G
+            for g in range(G):
+                # device g needs Z_{h-k} for its k-range: held by the
+                # mirror device; the returned event is the *receive*
+                # completion on that device
+                mirror = (G - 1 - g) if G > 1 else 0
+                ev_mirror[mirror] = cl.sendrecv(
+                    g, mirror, blk * itemc / C, "rfft.mirror",
+                    reads=[key], writes=[f"{key}.mirror{part}"],
+                )
+            last = [
+                cl.launch(g, "rfft.untangle", "custom",
+                          flops=10.0 * blk / C, mops=3 * blk * itemc / C,
+                          dtype=self.cdtype,
+                          after=[ev_mirror[g]] if ev_mirror[g] is not None else (),
+                          reads=[key, f"{key}.mirror{part}"],
+                          writes=[f"{key}.out{part}"])
+                for g in range(G)
+            ]
+        evs = last
         cl.barrier()
 
         if not cl.execute:

@@ -89,11 +89,20 @@ def distributed_transpose(
     events: list[Event] = []
     for i in range(chunks):
         after = tuple(after_chunks[i]) if after_chunks is not None else ()
+        # Chunk i moves row-chunk i of the source into transposed slot i
+        # of the destination; distinct chunks are disjoint sub-resources,
+        # which is what lets them pipeline against the producing FFTs.
+        if chunks == 1:
+            reads, writes = [src_key], [dst_key]
+        else:
+            reads, writes = [f"{src_key}#r{i}"], [f"{dst_key}#t{i}"]
         events = cl.alltoall(
             sent / chunks,
             name=name,
             after=after,
             fn=fn if i == 0 else None,
+            reads=reads,
+            writes=writes,
         )
     # Local diagonal sub-block still needs an on-device reorder
     # (read + write of local_bytes / G); on G == 1 this is the whole
@@ -105,6 +114,7 @@ def distributed_transpose(
         ev = cl.launch(
             g, name=f"{name}.reorder", kind="copy", flops=0.0, mops=reorder,
             dtype=dtype, stream="compute", after=[events[min(g, len(events) - 1)]],
+            reads=[src_key, dst_key], writes=[dst_key],
         )
         out.append(ev)
     return out

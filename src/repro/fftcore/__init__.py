@@ -17,10 +17,13 @@ that substrate:
   machine simulator to price local FFT launches.
 """
 
+from __future__ import annotations
+
 from repro.fftcore.plan import LocalFFTPlan, fft, ifft
 from repro.fftcore.stockham import fft_pow2
 from repro.fftcore.bluestein import fft_bluestein
 from repro.fftcore.flops import fft_flops, fft_mops
+from repro.fftcore.oracle import reference_fft, reference_ifft, reference_rfft
 from repro.fftcore.real import irfft_pow2, rfft_pow2
 
 __all__ = [
@@ -32,5 +35,8 @@ __all__ = [
     "fft_pow2",
     "ifft",
     "irfft_pow2",
+    "reference_fft",
+    "reference_ifft",
+    "reference_rfft",
     "rfft_pow2",
 ]

@@ -1,0 +1,29 @@
+"""Reference-transform oracles: the repo's only gateway to ``numpy.fft``.
+
+Accuracy checks and synthetic-signal generators need a trusted DFT that
+is *independent* of our own Stockham/Bluestein/FMM machinery.  That is
+``numpy.fft`` (pocketfft) — but calling it from arbitrary modules makes
+it too easy to "reproduce" the paper with the very library we are
+replacing.  The ``np-fft`` lint rule therefore confines ``numpy.fft``
+to :mod:`repro.fftcore`, and everything else imports these wrappers,
+which say what they are at the call site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def reference_fft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Trusted forward DFT (double precision), for oracles only."""
+    return np.fft.fft(np.asarray(x).astype(np.complex128), axis=axis)  # lint: allow-dtype-discipline
+
+
+def reference_ifft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Trusted inverse DFT (double precision), for oracles only."""
+    return np.fft.ifft(np.asarray(x).astype(np.complex128), axis=axis)  # lint: allow-dtype-discipline
+
+
+def reference_rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Trusted real-input DFT (``n//2 + 1`` bins), for oracles only."""
+    return np.fft.rfft(np.asarray(x).astype(np.float64), axis=axis)

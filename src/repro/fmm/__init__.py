@@ -22,6 +22,8 @@ contraction:
 - :mod:`repro.fmm.reference` — dense O(M^2) oracle.
 """
 
+from __future__ import annotations
+
 from repro.fmm.chebyshev import cheb_points, lagrange_eval
 from repro.fmm.tree import Tree1D
 from repro.fmm.plan import FmmGeometry, FmmOperators

@@ -138,6 +138,7 @@ class DistributedFMM:
             cl.launch(
                 g, "S2M", "batched_gemm", flops, mops, self.dtype,
                 fn=(lambda c: self._do_s2m(key_in)) if g == 0 else None,
+                reads=[key_in], writes=[f"fmm.M{L}"],
             )
             for g in range(G)
         ]
@@ -156,6 +157,7 @@ class DistributedFMM:
                 g, "S2T", "custom", flops, mops, self.dtype,
                 after=[ev_shalo[g], ],
                 fn=(lambda c: self._do_s2t(key_in, key_out)) if g == 0 else None,
+                reads=[key_in, "fmm.halo.S"], writes=[key_out],
             )
             for g in range(G)
         ]
@@ -171,6 +173,7 @@ class DistributedFMM:
                     g, f"M2M-{ell}", "batched_gemm", flops, mops, self.dtype,
                     after=[ev_m[g]],
                     fn=(lambda c, e=ell: self._do_m2m(e)) if g == 0 else None,
+                    reads=[f"fmm.M{ell + 1}"], writes=[f"fmm.M{ell}"],
                 )
                 for g in range(G)
             ]
@@ -194,6 +197,8 @@ class DistributedFMM:
                     g, f"M2L-{ell}", "custom", flops, mops, self.dtype,
                     after=[ev_mh[g]],
                     fn=(lambda c, e=ell: self._do_m2l_level(e)) if g == 0 else None,
+                    reads=[f"fmm.M{ell}", f"fmm.halo.M{ell}"],
+                    writes=[f"fmm.L{ell}"],
                 )
                 for g in range(G)
             ]
@@ -204,6 +209,7 @@ class DistributedFMM:
             base_bytes, "COMM-MB",
             after=[ev_m[g] for g in range(G)] if G > 1 else ev_m,
             fn=lambda c: self._do_gather_base(),
+            reads=[f"fmm.M{B}"], writes=["fmm.MB"],
         )
 
         # ---- line 10: dense base-level M2L -----------------------------------
@@ -216,6 +222,7 @@ class DistributedFMM:
                 g, "M2L-B", "custom", flops, mops, self.dtype,
                 after=[ev_gather[min(g, len(ev_gather) - 1)]],
                 fn=(lambda c: self._do_m2l_base()) if g == 0 else None,
+                reads=["fmm.MB"], writes=[f"fmm.L{B}"],
             )
             for g in range(G)
         ]
@@ -228,6 +235,7 @@ class DistributedFMM:
                 g, "REDUCE", "gemv", flops, mops, self.dtype,
                 after=[ev_gather[min(g, len(ev_gather) - 1)]],
                 fn=(lambda c: self._do_reduce()) if g == 0 else None,
+                reads=["fmm.MB"], writes=["fmm.r"],
             )
             for g in range(G)
         ]
@@ -253,6 +261,9 @@ class DistributedFMM:
                         g, f"M2L+L2L-{ell + 1}", "custom", flops, mops, self.dtype,
                         after=[waits[g]],
                         fn=(lambda c, e=ell: self._do_fused_m2l_l2l(e)) if g == 0 else None,
+                        reads=[f"fmm.M{ell + 1}", f"fmm.halo.M{ell + 1}",
+                               f"fmm.L{ell}"],
+                        writes=[f"fmm.L{ell + 1}"],
                     )
                     for g in range(G)
                 ]
@@ -266,6 +277,8 @@ class DistributedFMM:
                     g, f"L2L-{ell}", "batched_gemm", flops, mops, self.dtype,
                     after=[waits[g]],
                     fn=(lambda c, e=ell: self._do_l2l(e)) if g == 0 else None,
+                    reads=[f"fmm.L{ell}", f"fmm.L{ell + 1}"],
+                    writes=[f"fmm.L{ell + 1}"],
                 )
                 for g in range(G)
             ]
@@ -278,6 +291,7 @@ class DistributedFMM:
                 g, "L2T", "batched_gemm", flops, mops, self.dtype,
                 after=[ev_l[g], ev_s2t[g]],
                 fn=(lambda c: self._do_l2t(key_out)) if g == 0 else None,
+                reads=[f"fmm.L{L}", key_out], writes=[key_out],
             )
             for g in range(G)
         ]
@@ -313,14 +327,21 @@ class DistributedFMM:
             st = [cl.dev(0).stream("comm.rx")]
             return [Event(st[0].clock, name)]
         deps = after or [None] * G
+        # Each device sends its boundary boxes from the source buffer; the
+        # receiver's left (#L) and right (#R) halo slots are disjoint
+        # sub-resources, so the two ring shifts never alias each other.
+        src_buf = key if key is not None else f"fmm.M{level}"
+        halo_buf = f"fmm.halo.{what}"
         ev_right = [
             cl.sendrecv(g, (g + 1) % G, nbytes, name,
-                        after=[deps[g]] if deps[g] is not None else ())
+                        after=[deps[g]] if deps[g] is not None else (),
+                        reads=[src_buf], writes=[f"{halo_buf}#L"])
             for g in range(G)
         ]
         ev_left = [
             cl.sendrecv(g, (g - 1) % G, nbytes, name,
-                        after=[deps[g]] if deps[g] is not None else ())
+                        after=[deps[g]] if deps[g] is not None else (),
+                        reads=[src_buf], writes=[f"{halo_buf}#R"])
             for g in range(G)
         ]
         out = []

@@ -24,7 +24,7 @@ def dense_kernel_matrix(M: int, P: int, p: int, with_rho: bool = False) -> np.nd
     if not 0 <= p < P:
         raise ParameterError(f"p must be in [0, {P}), got {p}")
     if p == 0:
-        return np.eye(M, dtype=np.complex128 if with_rho else np.float64)
+        return np.eye(M, dtype=np.complex128 if with_rho else np.float64)  # lint: allow-dtype-discipline
     N = M * P
     m = np.arange(M)[:, None]
     n = np.arange(M)[None, :]

@@ -79,7 +79,7 @@ def s2t_lags_from_half(P: int, ML: int, N: int) -> np.ndarray:
         raise ParameterError(f"P must be >= 2, got {P}")
     half = s2t_lags_half(P, ML, N)
     nlag = 4 * ML - 1
-    out = np.empty((P - 1, nlag))
+    out = np.empty((P - 1, nlag), dtype=np.float64)
     for p in range(1, P):
         if p <= P // 2:
             out[p - 1] = half[p - 1]

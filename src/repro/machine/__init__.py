@@ -23,6 +23,8 @@ engine, in the same structure (stages, streams, halos, all-to-alls) as
 the paper's CUDA implementation.
 """
 
+from __future__ import annotations
+
 from repro.machine.spec import (
     DeviceSpec,
     LinkSpec,

@@ -19,6 +19,13 @@ Orchestration is sequential Python: the coordinator issues ops in a
 valid serialization order, ``fn`` closures run immediately (so data is
 always ready), and the event algebra reconstructs what the *parallel*
 timeline would have been.
+
+Every op additionally declares its buffer read/write sets (``reads`` /
+``writes``, device-local buffer names; sendrecv reads on the source and
+writes on the destination) and records which events it waited on.  The
+declarations cost nothing at simulation time but let
+:mod:`repro.analysis.hazards` prove the reconstructed parallel timeline
+race-free — or pinpoint the missing dependency when it is not.
 """
 
 from __future__ import annotations
@@ -80,6 +87,29 @@ class VirtualCluster:
     def trace(self) -> ExecutionTrace:
         return ExecutionTrace(self.ledger, self.spec)
 
+    def sanitize(self) -> None:
+        """Run the hazard sanitizer over the ledger; raise on any finding.
+
+        Strict mode for tests and ``--sanitize`` CLI runs: raises
+        :class:`~repro.analysis.hazards.HazardError` if the recorded
+        schedule has data hazards or structural defects.
+        """
+        from repro.analysis.hazards import find_hazards
+
+        find_hazards(self.ledger).raise_if_any()
+
+    # -- dependency bookkeeping ---------------------------------------
+
+    @staticmethod
+    def _qualify(g: int, keys: Sequence[str]) -> tuple:
+        """Tag device-local buffer names with their device id."""
+        return tuple((g, k) for k in keys)
+
+    @staticmethod
+    def _wait_uids(after: Sequence[Event]) -> tuple:
+        """Uids of the producing ops behind a dependency list."""
+        return tuple(ev.op for ev in after if ev is not None and ev.op >= 0)
+
     # -- compute -------------------------------------------------------
 
     def launch(
@@ -93,38 +123,54 @@ class VirtualCluster:
         stream: str = "compute",
         after: Sequence[Event] = (),
         fn: Callable[["VirtualCluster"], None] | None = None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
     ) -> Event:
         """Enqueue one kernel on device ``g``.
 
         Returns the completion :class:`Event`.  ``fn(cluster)`` runs
         immediately when executing; its cost is *not* measured — the
         simulated duration is the roofline time plus launch latency.
+        ``reads``/``writes`` declare the device-local buffers the kernel
+        touches, for the hazard sanitizer.
         """
         dev = self.devices[g]
         st = dev.stream(stream)
         start = st.ready_after(*after)
         dur = dev.spec.launch_latency + op_time(dev.spec, flops, mops, dtype, kind=kind)
-        self.ledger.append(
+        uid = self.ledger.append(
             OpRecord(
                 device=g, stream=stream, kind=kind, name=name,
                 start=start, duration=dur, flops=flops, mops=mops,
+                reads=self._qualify(g, reads),
+                writes=self._qualify(g, writes),
+                waits=self._wait_uids(after),
             )
         )
         if fn is not None and self.execute:
             fn(self)
-        return st.advance_to(start + dur)
+        return st.advance_to(start + dur, op=uid)
 
-    def host_op(self, g: int, name: str, fn: Callable[["VirtualCluster"], None] | None = None) -> Event:
+    def host_op(
+        self,
+        g: int,
+        name: str,
+        fn: Callable[["VirtualCluster"], None] | None = None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+    ) -> Event:
         """Zero-cost bookkeeping op (plan setup, pointer swaps)."""
         dev = self.devices[g]
         st = dev.stream("compute")
-        self.ledger.append(
+        uid = self.ledger.append(
             OpRecord(device=g, stream="compute", kind="host", name=name,
-                     start=st.clock, duration=0.0)
+                     start=st.clock, duration=0.0,
+                     reads=self._qualify(g, reads),
+                     writes=self._qualify(g, writes))
         )
         if fn is not None and self.execute:
             fn(self)
-        return Event(st.clock, name)
+        return Event(st.clock, name, op=uid)
 
     # -- point-to-point communication -----------------------------------
 
@@ -136,11 +182,14 @@ class VirtualCluster:
         name: str,
         after: Sequence[Event] = (),
         fn: Callable[["VirtualCluster"], None] | None = None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
     ) -> Event:
         """P2P transfer src -> dst on both comm streams.
 
         On a single-device cluster this is free (and ``fn`` still runs,
-        so G=1 degenerates correctly).
+        so G=1 degenerates correctly).  ``reads`` are buffers on the
+        source device, ``writes`` buffers on the destination.
         """
         if src == dst or self.G == 1:
             if fn is not None and self.execute:
@@ -156,14 +205,17 @@ class VirtualCluster:
         link_lat = self.spec.comm_latency()
         bw = self.spec.pair_bandwidth(src, dst)
         dur = link_lat + nbytes / bw
-        self.ledger.append(
+        uid = self.ledger.append(
             OpRecord(device=src, stream="comm", kind="comm", name=name,
-                     start=start, duration=dur, comm_bytes=nbytes, peer=dst)
+                     start=start, duration=dur, comm_bytes=nbytes, peer=dst,
+                     reads=self._qualify(src, reads),
+                     writes=self._qualify(dst, writes),
+                     waits=self._wait_uids(after))
         )
         if fn is not None and self.execute:
             fn(self)
-        s_st.advance_to(start + dur)
-        return d_st.advance_to(start + dur)
+        s_st.advance_to(start + dur, op=uid)
+        return d_st.advance_to(start + dur, op=uid)
 
     # -- collectives -----------------------------------------------------
 
@@ -173,12 +225,15 @@ class VirtualCluster:
         bytes_per_device: float,
         after: Sequence[Event],
         fn: Callable[["VirtualCluster"], None] | None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
     ) -> list[Event]:
         """Shared costing for alltoall/allgather.
 
         All devices' comm streams synchronize at the start (it is a
         collective), proceed at the topology's effective all-to-all
-        bandwidth, and finish together.
+        bandwidth, and finish together.  ``reads``/``writes`` are
+        device-local names applied per participating device.
         """
         if self.G == 1:
             if fn is not None and self.execute:
@@ -194,17 +249,23 @@ class VirtualCluster:
         # plus the host-side synchronization cost of coordinating it.
         lat = self.spec.comm_latency() + self.spec.collective_overhead
         dur = lat + bytes_per_device / self._a2a_bw
-        for g in range(self.G):
+        waits = self._wait_uids(after)
+        uids = [
             self.ledger.append(
                 OpRecord(device=g, stream="comm", kind="comm", name=name,
-                         start=start, duration=dur, comm_bytes=bytes_per_device)
+                         start=start, duration=dur, comm_bytes=bytes_per_device,
+                         reads=self._qualify(g, reads),
+                         writes=self._qualify(g, writes),
+                         waits=waits)
             )
+            for g in range(self.G)
+        ]
         if fn is not None and self.execute:
             fn(self)
         out = []
         for g in range(self.G):
-            tx[g].advance_to(start + dur)
-            out.append(rx[g].advance_to(start + dur))
+            tx[g].advance_to(start + dur, op=uids[g])
+            out.append(rx[g].advance_to(start + dur, op=uids[g]))
         return out
 
     def alltoall(
@@ -213,13 +274,16 @@ class VirtualCluster:
         name: str,
         after: Sequence[Event] = (),
         fn: Callable[["VirtualCluster"], None] | None = None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
     ) -> list[Event]:
         """Personalized all-to-all: each device sends ``bytes_sent_per_device``
         total, split evenly over the other G-1 devices.
 
         Returns one completion event per device.
         """
-        return self._collective(name, bytes_sent_per_device, after, fn)
+        return self._collective(name, bytes_sent_per_device, after, fn,
+                                reads=reads, writes=writes)
 
     def allgather(
         self,
@@ -227,13 +291,16 @@ class VirtualCluster:
         name: str,
         after: Sequence[Event] = (),
         fn: Callable[["VirtualCluster"], None] | None = None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
     ) -> list[Event]:
         """Allgather: each device contributes ``bytes_per_device`` and ends
         with everyone's contribution.  Receive-side volume dominates:
         ``(G-1) * bytes_per_device`` per device at all-to-all bandwidth.
         """
         return self._collective(
-            name, (self.G - 1) * bytes_per_device, after, fn
+            name, (self.G - 1) * bytes_per_device, after, fn,
+            reads=reads, writes=writes,
         )
 
     def barrier(self) -> Event:

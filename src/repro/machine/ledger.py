@@ -10,8 +10,9 @@ from it.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
 
@@ -43,6 +44,18 @@ class OpRecord:
         Bytes sent over the interconnect (comm ops only).
     peer:
         Receiving device id for point-to-point comm, else -1.
+    uid:
+        Ledger-unique operation id, assigned on append (or preserved
+        when already >= 0).  Events reference their producing op by uid,
+        which is what the hazard sanitizer's happens-before graph is
+        built from.
+    reads, writes:
+        Declared buffer access sets as ``(device, buffer)`` pairs.
+        Sub-resources use ``"buf#part"`` naming; a whole-buffer access
+        conflicts with any of its parts.  Empty for legacy records.
+    waits:
+        Uids of the ops whose completion events this op waited on (its
+        explicit cross-stream dependency edges).
     """
 
     device: int
@@ -55,22 +68,52 @@ class OpRecord:
     mops: float = 0.0
     comm_bytes: float = 0.0
     peer: int = -1
+    uid: int = -1
+    reads: tuple = ()
+    writes: tuple = ()
+    waits: tuple = ()
 
     @property
     def end(self) -> float:
         return self.start + self.duration
 
+    def interval(self) -> tuple[float, float]:
+        """The op's simulated occupancy interval ``[start, end]``."""
+        return (self.start, self.end)
+
 
 class Ledger:
-    """Append-only list of :class:`OpRecord` with aggregation helpers."""
+    """Append-only list of :class:`OpRecord` with aggregation helpers.
+
+    ``append`` validates records (known kind, finite non-negative
+    timing) and assigns each a ledger-unique ``uid`` so events and
+    dependency declarations stay attributable.
+    """
 
     def __init__(self) -> None:
         self._records: list[OpRecord] = []
+        self._next_uid = 0
 
-    def append(self, rec: OpRecord) -> None:
+    def append(self, rec: OpRecord) -> int:
+        """Validate, uid-stamp, and store a record; returns its uid."""
         if rec.kind not in KINDS:
             raise ValueError(f"unknown op kind {rec.kind!r}")
+        if not rec.name:
+            raise ValueError("op records need a non-empty stage name")
+        if not (math.isfinite(rec.start) and math.isfinite(rec.duration)):
+            raise ValueError(
+                f"op {rec.name!r} has non-finite timing "
+                f"(start={rec.start!r}, duration={rec.duration!r})"
+            )
+        if rec.duration < 0.0:
+            raise ValueError(
+                f"op {rec.name!r} has negative duration {rec.duration!r}"
+            )
+        if rec.uid < 0:
+            rec = replace(rec, uid=self._next_uid)
+        self._next_uid = max(self._next_uid, rec.uid) + 1
         self._records.append(rec)
+        return rec.uid
 
     def __len__(self) -> int:
         return len(self._records)
@@ -144,7 +187,11 @@ class Ledger:
         return n
 
     def span(self) -> tuple[float, float]:
-        """(earliest start, latest end) over all records."""
+        """(earliest start, latest end) over all records.
+
+        An empty ledger has a defined span of ``(0.0, 0.0)`` — callers
+        (profile rendering, wall-time deltas) need not special-case it.
+        """
         if not self._records:
             return (0.0, 0.0)
         return (
@@ -152,6 +199,27 @@ class Ledger:
             max(r.end for r in self._records),
         )
 
+    def by_uid(self, uid: int) -> OpRecord:
+        """Look up a record by its uid (linear scan; diagnostics only)."""
+        for r in self._records:
+            if r.uid == uid:
+                return r
+        raise KeyError(f"no op with uid {uid}")
+
     def merge(self, other: "Ledger") -> None:
-        """Append all records from another ledger (multi-phase runs)."""
-        self._records.extend(other._records)
+        """Append all records from another ledger (multi-phase runs).
+
+        Uids (and the ``waits`` references among them) are shifted past
+        this ledger's counter so merged records stay unique and their
+        dependency edges stay internally consistent.
+        """
+        shift = self._next_uid
+        for r in other._records:
+            self._records.append(
+                replace(
+                    r,
+                    uid=r.uid + shift if r.uid >= 0 else r.uid,
+                    waits=tuple(w + shift for w in r.waits),
+                )
+            )
+        self._next_uid += other._next_uid

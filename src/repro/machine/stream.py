@@ -7,6 +7,13 @@ devices) can be made to wait on it, which is how the algorithms express
 compute/communication overlap — e.g. Algorithm 1 launches S2M on the
 compute stream while the S-halo exchange proceeds on the comm stream,
 and S2T waits on the halo's event.
+
+Events additionally carry the ledger uid of the operation that produced
+them (``op``), which is what lets the hazard sanitizer in
+:mod:`repro.analysis.hazards` reconstruct the happens-before graph of a
+run, and a ``wait_count`` recording how many times the event was
+actually waited on (unwaited events are a smell: a declared dependency
+nobody enforces).
 """
 
 from __future__ import annotations
@@ -16,14 +23,36 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True)
 class Event:
-    """A completion timestamp in the simulated timeline."""
+    """A completion timestamp in the simulated timeline.
+
+    Attributes
+    ----------
+    time:
+        Simulated completion time, seconds.
+    label:
+        Debugging label (stream or stage name).
+    op:
+        Ledger uid of the producing :class:`~repro.machine.ledger.OpRecord`,
+        or -1 for synthetic events (``Event.zero()``, barriers, G=1
+        degenerate paths).  Excluded from equality/hash so pre-existing
+        event comparisons keep their semantics.
+    wait_count:
+        Number of times a stream actually waited on this event.
+        Mutable bookkeeping (via ``object.__setattr__``), excluded from
+        equality/hash.
+    """
 
     time: float
     label: str = ""
+    op: int = field(default=-1, compare=False)
+    wait_count: int = field(default=0, compare=False)
 
     @staticmethod
     def zero() -> "Event":
         return Event(0.0, "t0")
+
+    def _mark_waited(self) -> None:
+        object.__setattr__(self, "wait_count", self.wait_count + 1)
 
 
 class Stream:
@@ -35,22 +64,38 @@ class Stream:
         self.clock = 0.0
 
     def ready_after(self, *events: Event) -> float:
-        """Earliest start respecting stream order and the given events."""
+        """Earliest start respecting stream order and the given events.
+
+        ``None`` entries are rejected: a silently skipped dependency is
+        exactly the class of bug the hazard sanitizer exists to catch,
+        so passing one is always a call-site error.
+        """
         t = self.clock
         for ev in events:
-            if ev is not None and ev.time > t:
+            if ev is None:
+                raise ValueError(
+                    f"stream {self.name}@dev{self.device}: None event in "
+                    "dependency list; filter absent dependencies at the "
+                    "call site instead of passing None"
+                )
+            ev._mark_waited()
+            if ev.time > t:
                 t = ev.time
         return t
 
-    def advance_to(self, t: float) -> Event:
-        """Move the clock to ``t`` (monotone) and return an event for it."""
+    def advance_to(self, t: float, op: int = -1) -> Event:
+        """Move the clock to ``t`` (monotone) and return an event for it.
+
+        ``op`` is the ledger uid of the operation completing at ``t``;
+        it rides on the returned event so later waits are attributable.
+        """
         if t < self.clock:
             raise ValueError(
                 f"stream {self.name}@dev{self.device} cannot rewind "
                 f"{self.clock} -> {t}"
             )
         self.clock = t
-        return Event(t, f"{self.name}@dev{self.device}")
+        return Event(t, f"{self.name}@dev{self.device}", op=op)
 
     def reset(self) -> None:
         self.clock = 0.0

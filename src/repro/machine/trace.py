@@ -26,6 +26,17 @@ class ExecutionTrace:
         start, end = self.ledger.span()
         return end - start
 
+    def hazards(self) -> "HazardReport":
+        """Run the hazard sanitizer over this trace's ledger.
+
+        Returns the :class:`~repro.analysis.hazards.HazardReport`; call
+        ``.raise_if_any()`` on it for strict mode.  Imported lazily to
+        keep the machine package free of an analysis dependency.
+        """
+        from repro.analysis.hazards import find_hazards
+
+        return find_hazards(self.ledger)
+
     # -- rendering -------------------------------------------------------
 
     def render_profile(self, width: int = 100, devices: list[int] | None = None) -> str:

@@ -16,6 +16,8 @@ Two levels of fidelity:
   P = G, C = 2, B = 2.
 """
 
+from __future__ import annotations
+
 from repro.model.vfunc import v_top, v_levels
 from repro.model.flops import fmm_stage_flops, fmm_total_flops, fmm_flops_collected
 from repro.model.mops import fmm_stage_mops, fmm_total_mops, fmm_mops_collected

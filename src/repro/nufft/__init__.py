@@ -20,6 +20,8 @@ implements that ancestor with the same machinery:
   FMM-accelerated spreading + FFT), both O(N log N + M).
 """
 
+from __future__ import annotations
+
 from repro.nufft.nonuniform_fmm import NonuniformPeriodicFMM
 from repro.nufft.barycentric import trig_barycentric_dense
 from repro.nufft.transforms import nufft1_adjoint, nufft2, nudft2_direct

@@ -4,6 +4,8 @@ These are deliberately dependency-light helpers used by every other
 subpackage.  Nothing in here knows about FFTs, FMMs, or the machine model.
 """
 
+from __future__ import annotations
+
 from repro.util.bitmath import (
     ceil_div,
     ilog2,

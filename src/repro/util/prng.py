@@ -72,7 +72,10 @@ def structured_signal(
         spec = np.zeros(n, dtype=np.complex128)
         k = max(1, n // 8)
         spec[:k] = rng.standard_normal(k) + 1j * rng.standard_normal(k)
-        x = np.fft.ifft(spec)
+        # lazy import: util must stay importable without fftcore
+        from repro.fftcore.oracle import reference_ifft
+
+        x = reference_ifft(spec)
     elif kind == "gaussian":
         x = np.exp(-0.5 * ((t - 0.5) / 0.05) ** 2).astype(np.complex128)
     else:

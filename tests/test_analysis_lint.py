@@ -1,0 +1,150 @@
+"""The AST lint pass: every rule bad/good, pragmas, and a clean tree."""
+
+import os
+
+from repro.analysis.lint import LintIssue, lint_paths, lint_source
+
+HDR = "from __future__ import annotations\n"
+
+
+def rules(src, path="src/repro/util/x.py"):
+    return [i.rule for i in lint_source(path, src)]
+
+
+class TestFutureAnnotations:
+    def test_missing_flagged(self):
+        assert rules("x = 1\n") == ["future-annotations"]
+
+    def test_present_ok(self):
+        assert rules(HDR + "x = 1\n") == []
+
+    def test_docstring_then_import_ok(self):
+        assert rules('"""doc."""\n' + HDR) == []
+
+    def test_empty_module_ok(self):
+        assert rules("") == []
+        assert rules('"""doc only."""\n') == []
+
+    def test_pragma_waives(self):
+        assert rules("# lint: allow-future-annotations\nx = 1\n") == []
+
+
+class TestBareExcept:
+    def test_bare_flagged(self):
+        src = HDR + "try:\n    pass\nexcept:\n    pass\n"
+        assert rules(src) == ["bare-except"]
+
+    def test_typed_ok(self):
+        src = HDR + "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert rules(src) == []
+
+    def test_pragma_waives(self):
+        src = HDR + "try:\n    pass\nexcept:  # lint: allow-bare-except\n    pass\n"
+        assert rules(src) == []
+
+
+class TestMutableDefault:
+    def test_literal_list_flagged(self):
+        assert rules(HDR + "def f(a=[]):\n    pass\n") == ["mutable-default"]
+
+    def test_dict_call_flagged(self):
+        assert rules(HDR + "def f(a=dict()):\n    pass\n") == ["mutable-default"]
+
+    def test_kwonly_flagged(self):
+        assert rules(HDR + "def f(*, a={}):\n    pass\n") == ["mutable-default"]
+
+    def test_none_ok(self):
+        assert rules(HDR + "def f(a=None, b=(), c=3):\n    pass\n") == []
+
+
+class TestNpFftContainment:
+    SRC = HDR + "import numpy as np\ny = np.fft.fft(x)\n"
+
+    def test_flagged_outside_fftcore(self):
+        assert rules(self.SRC, "src/repro/util/x.py") == ["np-fft"]
+
+    def test_allowed_in_fftcore(self):
+        assert rules(self.SRC, "src/repro/fftcore/oracle.py") == []
+
+    def test_numpy_alias_flagged(self):
+        src = HDR + "import numpy\ny = numpy.fft.ifft(x)\n"
+        assert rules(src, "src/repro/dfft/x.py") == ["np-fft"]
+
+
+class TestDtypeDiscipline:
+    KP = "src/repro/core/x.py"  # a kernel path
+
+    def test_bare_complex128_flagged_in_kernel_path(self):
+        src = HDR + "import numpy as np\na = np.complex128\n"
+        assert rules(src, self.KP) == ["dtype-discipline"]
+
+    def test_complex128_ok_outside_kernel_path(self):
+        src = HDR + "import numpy as np\na = np.complex128\n"
+        assert rules(src, "src/repro/bench/x.py") == []
+
+    def test_complex64_alternative_same_statement_ok(self):
+        src = (HDR + "import numpy as np\n"
+               "a = np.complex64 if half else np.complex128\n")
+        assert rules(src, self.KP) == []
+
+    def test_alloc_without_dtype_flagged(self):
+        src = HDR + "import numpy as np\na = np.zeros(n)\n"
+        assert rules(src, self.KP) == ["dtype-discipline"]
+
+    def test_alloc_with_dtype_kwarg_ok(self):
+        src = HDR + "import numpy as np\na = np.empty(n, dtype=np.float64)\n"
+        assert rules(src, self.KP) == []
+
+    def test_alloc_with_positional_dtype_ok(self):
+        src = HDR + "import numpy as np\na = np.zeros(n, np.float32)\n"
+        assert rules(src, self.KP) == []
+
+    def test_pragma_waives(self):
+        src = (HDR + "import numpy as np\n"
+               "a = np.zeros(n)  # lint: allow-dtype-discipline\n")
+        assert rules(src, self.KP) == []
+
+
+class TestLaunchDeclares:
+    GOOD = HDR + "ev = cl.launch(g, 'k', 'gemm', f, m, dt, reads=['x'], writes=['y'])\n"
+
+    def test_missing_both_flagged(self):
+        src = HDR + "ev = cl.launch(g, 'k', 'gemm', f, m, dt)\n"
+        assert rules(src) == ["launch-declares"]
+
+    def test_missing_one_flagged(self):
+        src = HDR + "ev = cl.sendrecv(a, b, n, 'msg', reads=['x'])\n"
+        assert rules(src) == ["launch-declares"]
+
+    def test_both_present_ok(self):
+        assert rules(self.GOOD) == []
+
+    def test_collectives_covered(self):
+        src = HDR + "evs = cl.alltoall(n, 'a2a')\nevs = cl.allgather(n, 'ag')\n"
+        assert rules(src) == ["launch-declares", "launch-declares"]
+
+    def test_unrelated_name_ok(self):
+        # only method calls named like comm primitives are checked
+        assert rules(HDR + "rocket.launch()\n") == ["launch-declares"]
+        assert rules(HDR + "launch()\n") == []
+
+
+class TestMachinery:
+    def test_syntax_error_reported_not_raised(self):
+        issues = lint_source("src/repro/x.py", "def f(:\n")
+        assert [i.rule for i in issues] == ["syntax"]
+
+    def test_issue_str_is_clickable(self):
+        s = str(LintIssue("src/a.py", 3, "np-fft", "msg"))
+        assert s.startswith("src/a.py:3: ")
+
+    def test_issues_sorted_by_line(self):
+        src = "try:\n    pass\nexcept:\n    pass\ndef f(a=[]):\n    pass\n"
+        issues = lint_source("src/repro/util/x.py", src)
+        assert [i.line for i in issues] == sorted(i.line for i in issues)
+
+
+def test_shipped_tree_is_clean():
+    """The acceptance gate: the whole src tree lints clean."""
+    root = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    assert lint_paths([os.path.normpath(root)]) == []

@@ -43,13 +43,20 @@ class TestCorrectness:
 
 class TestCost:
     def test_cheaper_than_complex(self):
-        """The C = 1 saving: real transform ~half a complex one."""
+        """The C = 1 saving: real transform well under a complex one.
+
+        The margin is 0.75, not 0.5: the pack and the mirror exchange
+        are genuine serial epilogue/prologue stages (the hazard
+        sanitizer certifies the schedule, so they may no longer ride
+        for free on top of racing neighbours as the original 0.7-margin
+        schedule implicitly let them).
+        """
         N = 1 << 24
         cl_r = VirtualCluster(dual_p100_nvlink(), execute=False)
         DistributedRealFFT(N, cl_r).run()
         cl_c = VirtualCluster(dual_p100_nvlink(), execute=False)
         Distributed1DFFT(N, cl_c).run()
-        assert cl_r.wall_time() < 0.7 * cl_c.wall_time()
+        assert cl_r.wall_time() < 0.75 * cl_c.wall_time()
 
     def test_half_the_transpose_bytes(self):
         N = 1 << 20

@@ -19,9 +19,25 @@ class TestStreamsAndEvents:
         s.advance_to(2.0)
         assert s.ready_after(Event(1.0), Event(3.0)) == pytest.approx(3.0)
 
-    def test_none_events_ignored(self):
+    def test_none_events_rejected(self):
+        # None used to be silently skipped, which let absent dependencies
+        # masquerade as satisfied ones; call sites must filter instead.
         s = Stream(0, "c")
-        assert s.ready_after(None, Event(1.0)) == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="None event"):
+            s.ready_after(None, Event(1.0))
+
+    def test_zero_events_is_stream_clock(self):
+        s = Stream(0, "c")
+        s.advance_to(2.5)
+        assert s.ready_after() == pytest.approx(2.5)
+
+    def test_wait_count_increments(self):
+        s = Stream(0, "c")
+        ev = Event(1.0)
+        assert ev.wait_count == 0
+        s.ready_after(ev)
+        s.ready_after(ev)
+        assert ev.wait_count == 2
 
     def test_event_zero(self):
         assert Event.zero().time == 0.0

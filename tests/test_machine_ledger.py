@@ -95,3 +95,48 @@ class TestLedger:
         b.append(rec())
         a.merge(b)
         assert len(a) == 2
+
+
+class TestLedgerHardening:
+    def test_append_returns_monotone_uids(self):
+        l = Ledger()
+        assert l.append(rec()) == 0
+        assert l.append(rec()) == 1
+        assert [r.uid for r in l] == [0, 1]
+
+    def test_by_uid(self):
+        l = Ledger()
+        u = l.append(rec(name="S2T"))
+        assert l.by_uid(u).name == "S2T"
+        with pytest.raises(KeyError):
+            l.by_uid(99)
+
+    def test_rejects_empty_name(self):
+        l = Ledger()
+        with pytest.raises(ValueError, match="name"):
+            l.append(rec(name=""))
+
+    def test_rejects_non_finite_timing(self):
+        l = Ledger()
+        with pytest.raises(ValueError, match="finite"):
+            l.append(rec(start=float("nan")))
+        with pytest.raises(ValueError, match="finite"):
+            l.append(rec(duration=float("inf")))
+
+    def test_merge_shifts_uids_and_waits(self):
+        a, b = Ledger(), Ledger()
+        a.append(rec())
+        a.append(rec())
+        u = b.append(rec(name="x"))
+        b.append(rec(name="y", waits=(u,)))
+        a.merge(b)
+        recs = list(a)
+        assert [r.uid for r in recs] == [0, 1, 2, 3]
+        assert recs[3].waits == (2,)  # still points at "x" after the shift
+
+    def test_merged_uids_resolve(self):
+        a, b = Ledger(), Ledger()
+        a.append(rec())
+        b.append(rec(name="x"))
+        a.merge(b)
+        assert a.by_uid(1).name == "x"

@@ -53,3 +53,35 @@ class TestSummary:
         tr = traced_cluster.trace()
         assert tr.compute_time(0) > 0
         assert tr.compute_time(0) != tr.compute_time()
+
+
+class TestProfileEdgeCases:
+    def test_empty_ledger_renders(self):
+        from repro.machine.ledger import Ledger
+        from repro.machine.trace import ExecutionTrace
+
+        tr = ExecutionTrace(Ledger(), dual_p100_nvlink())
+        out = tr.render_profile(width=60)
+        assert isinstance(out, str)
+        assert tr.wall_time() == 0.0
+
+    def test_single_device(self):
+        from repro.machine.spec import p100_nvlink_node
+
+        cl = VirtualCluster(p100_nvlink_node(1), execute=False)
+        cl.launch(0, "S2M", "batched_gemm", 1e9, 1e6, np.float64)
+        out = cl.trace().render_profile(width=60)
+        assert "dev0" in out
+        assert "dev1" not in out
+
+    def test_zero_duration_op_renders(self):
+        cl = VirtualCluster(dual_p100_nvlink(), execute=False)
+        cl.launch(0, "S2M", "batched_gemm", 1e9, 1e6, np.float64)
+        cl.host_op(0, "noop", lambda devs: None)
+        out = cl.trace().render_profile(width=60)
+        assert "S2M"[0] in out
+
+    def test_hazards_accessor(self, traced_cluster):
+        rep = traced_cluster.trace().hazards()
+        assert rep.ok
+        assert rep.num_ops == len(traced_cluster.ledger)

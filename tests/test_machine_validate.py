@@ -35,8 +35,12 @@ class TestAuditor:
         assert any("out of order" in v for v in audit_schedule(l).violations)
 
     def test_detects_negative_duration(self):
+        # append itself now rejects negative durations at the source ...
         l = Ledger()
-        l.append(OpRecord(0, "compute", "gemm", "a", 0.0, -1.0))
+        with pytest.raises(ValueError, match="negative duration"):
+            l.append(OpRecord(0, "compute", "gemm", "a", 0.0, -1.0))
+        # ... and the auditor still catches records that bypassed it
+        l._records.append(OpRecord(0, "compute", "gemm", "a", 0.0, -1.0))
         assert any("negative" in v for v in audit_schedule(l).violations)
 
     def test_distinct_streams_may_overlap(self):

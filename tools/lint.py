@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Run the repo's AST lint over source trees; exit 1 on any issue.
+
+Usage::
+
+    python tools/lint.py src            # what CI runs
+    python tools/lint.py src/repro/dfft tools/lint.py
+
+Rules live in :mod:`repro.analysis.lint`; waive a line with
+``# lint: allow-<rule>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.lint import lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to lint")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the success line")
+    args = parser.parse_args(argv)
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    issues = lint_paths(args.paths)
+    for issue in issues:
+        print(issue)
+    if issues:
+        print(f"lint: {len(issues)} issue(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
