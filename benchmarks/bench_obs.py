@@ -1,0 +1,41 @@
+"""Observability bench: wall time, exposed comm, critical path per testbed.
+
+Runs the FMM-FFT and the six-step baseline on every simulated testbed
+and records the observability scalars (wall time, exposed-comm seconds,
+comm-hidden fraction, critical-path length/op-count) to
+``BENCH_obs.json`` plus a text artifact for the report.  This is the
+perf-trajectory record: CI uploads the JSON per commit so regressions
+in overlap or critical-path length are visible across history.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.figures import emit, out_dir
+from repro.obs.bench import collect_obs_bench, render_bench, write_bench_json
+
+
+def _collect():
+    return collect_obs_bench(N=1 << 20)
+
+
+def test_obs_metrics(benchmark):
+    payload = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    emit("obs_metrics", render_bench(payload))
+    path = out_dir() / "BENCH_obs.json"
+    path.write_text(json.dumps(payload, indent=1))
+
+    for system, row in payload["testbeds"].items():
+        for pipe in ("fft1d", "fmmfft"):
+            m = row[pipe]
+            # the critical path bounds (and here, defines) the wall time
+            assert m["critical_path_length"] == pytest.approx(
+                m["wall_time"], abs=1e-9
+            ), (system, pipe)
+            assert 0.0 <= m["overlap_fraction"] <= 1.0
+            assert m["exposed_comm"] >= 0.0
+        # the FMM-FFT hides a larger comm fraction than the baseline at
+        # this size and wins end to end (the paper's headline claim)
+        assert row["speedup"] > 1.0, system

@@ -33,6 +33,7 @@ ORDER = [
     "model_validation",
     "multinode_projection",
     "energy_projection",
+    "obs_metrics",
 ]
 
 

@@ -15,6 +15,9 @@ Commands
 ``analyze``
     Profile a pipeline and run the hazard sanitizer over its recorded
     schedule (``--sanitize`` raises on any data race or defect).
+``metrics``
+    Observability report for a simulated run: per-region rollups, the
+    measured-vs-model join, comm/compute overlap and the critical path.
 ``model``
     Section 5 model breakdown (per-stage roofline) for a configuration.
 ``energy``
@@ -92,6 +95,20 @@ def cmd_transform(args: argparse.Namespace) -> int:
     print(f"plan: {plan.describe()}")
     print(f"relative l2 error vs exact FFT: {err:.3e} "
           f"(target {args.tolerance:g}, chosen Q={Q})")
+    if args.trace_out:
+        # replay the same size on a simulated testbed and export the
+        # Perfetto trace of the distributed schedule
+        from repro.obs import save_trace
+
+        spec = preset(args.system)
+        r = find_fastest(N, spec, dtype=args.dtype)
+        tplan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
+                                  build_operators=False, **r.params)
+        cl = VirtualCluster(spec, execute=False)
+        FmmFftDistributed(tplan, cl).run()
+        save_trace(args.trace_out, cl.ledger, spec)
+        print(f"wrote {args.trace_out} ({spec.name} timing replay, "
+              f"{len(cl.ledger)} ops)")
     return 0 if err <= args.tolerance else 1
 
 
@@ -121,23 +138,53 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_pipeline(pipeline: str, N: int, spec, dtype: str):
+    """Run one pipeline timing-only; returns (cluster, geometry, params).
+
+    geometry/params are None for the non-FMM pipelines.  Shared by
+    ``analyze`` and ``metrics`` so both profile identical schedules.
+    """
+    cl = VirtualCluster(spec, execute=False)
+    geom = params = None
+    if pipeline == "fmmfft":
+        r = find_fastest(N, spec, dtype=dtype)
+        plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=dtype,
+                                 build_operators=False, **r.params)
+        FmmFftDistributed(plan, cl).run()
+        geom, params = plan.geometry, r.params
+    elif pipeline == "fft1d":
+        Distributed1DFFT(N, cl, dtype=dtype).run()
+    elif pipeline == "fft2d":
+        from repro.dfft.fft2d import Distributed2DFFT
+        from repro.util.bitmath import ilog2
+
+        M = 1 << ((ilog2(N) + 1) // 2)
+        Distributed2DFFT(M, N // M, cl, dtype=dtype).run()
+    else:  # rfft
+        from repro.dfft.realfft import DistributedRealFFT
+
+        rdt = "float32" if dtype == "complex64" else "float64"
+        DistributedRealFFT(N, cl, dtype=rdt).run()
+    return cl, geom, params
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Render the simulated timeline for a configuration."""
     N = _parse_size(args.n)
     spec = preset(args.system)
-    if args.baseline:
-        cl = VirtualCluster(spec, execute=False)
-        Distributed1DFFT(N, cl, dtype=args.dtype).run()
-    else:
-        r = find_fastest(N, spec, dtype=args.dtype)
-        plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
-                                 build_operators=False, **r.params)
-        cl = VirtualCluster(spec, execute=False)
-        FmmFftDistributed(plan, cl).run()
-        print(f"params: {r.params}")
-    print(cl.trace().render_profile(width=args.width))
+    pipeline = "fft1d" if args.baseline else "fmmfft"
+    cl, _, params = _run_pipeline(pipeline, N, spec, args.dtype)
+    if params is not None:
+        print(f"params: {params}")
+    devices = [int(d) for d in args.devices.split(",")] if args.devices else None
+    print(cl.trace().render_profile(width=args.width, devices=devices))
     print()
     print(cl.trace().stage_summary().render())
+    if args.trace_out:
+        from repro.obs import save_trace
+
+        save_trace(args.trace_out, cl.ledger, spec)
+        print(f"wrote {args.trace_out}")
     return 0
 
 
@@ -150,27 +197,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         spec = multinode_p100(args.nodes, gpus_per_node=args.gpus_per_node)
     else:
         spec = preset(args.system)
-    cl = VirtualCluster(spec, execute=False)
-
-    if args.pipeline == "fmmfft":
-        r = find_fastest(N, spec, dtype=args.dtype)
-        plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=args.dtype,
-                                 build_operators=False, **r.params)
-        FmmFftDistributed(plan, cl).run()
-        print(f"params: {r.params}")
-    elif args.pipeline == "fft1d":
-        Distributed1DFFT(N, cl, dtype=args.dtype).run()
-    elif args.pipeline == "fft2d":
-        from repro.dfft.fft2d import Distributed2DFFT
-        from repro.util.bitmath import ilog2
-
-        M = 1 << ((ilog2(N) + 1) // 2)
-        Distributed2DFFT(M, N // M, cl, dtype=args.dtype).run()
-    else:  # rfft
-        from repro.dfft.realfft import DistributedRealFFT
-
-        rdt = "float32" if args.dtype == "complex64" else "float64"
-        DistributedRealFFT(N, cl, dtype=rdt).run()
+    cl, _, params = _run_pipeline(args.pipeline, N, spec, args.dtype)
+    if params is not None:
+        print(f"params: {params}")
 
     print(cl.trace().render_profile(width=args.width))
     print()
@@ -179,6 +208,29 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.sanitize:
         report.raise_if_any()
     return 0 if report.ok else 1
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Observability report: rollups, model join, overlap, critical path."""
+    from repro.obs import compute_metrics, save_trace
+
+    N = _parse_size(args.n)
+    spec = preset(args.system)
+    cl, geom, params = _run_pipeline(args.pipeline, N, spec, args.dtype)
+    rep = compute_metrics(cl.ledger, spec, geom=geom, dtype=args.dtype)
+    if params is not None:
+        print(f"params: {params}")
+    print(rep.render())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(rep.to_json(), indent=1))
+        print(f"wrote {args.json}")
+    if args.trace_out:
+        save_trace(args.trace_out, cl.ledger, spec)
+        print(f"wrote {args.trace_out}")
+    return 0
 
 
 def cmd_model(args: argparse.Namespace) -> int:
@@ -260,7 +312,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
                              build_operators=False, **r.params)
     cl = VirtualCluster(spec, execute=False)
     FmmFftDistributed(plan, cl).run()
-    cl.trace().save_chrome_trace(args.out)
+    if args.rich:
+        cl.trace().save_perfetto(args.out)
+    else:
+        cl.trace().save_chrome_trace(args.out)
     print(f"wrote {len(cl.ledger)} events to {args.out} "
           f"(load in chrome://tracing or Perfetto)")
     return 0
@@ -291,6 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--q", type=int, default=0, help="override expansion order")
     tr.add_argument("--p", type=int, default=0, help="override P")
     tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--system", default="2xP100", choices=sorted(_PRESETS),
+                    help="testbed for the --trace-out timing replay")
+    tr.add_argument("--trace-out", default=None,
+                    help="also export a Perfetto trace of the simulated run")
     tr.set_defaults(fn=cmd_transform)
 
     se = sub.add_parser("search", help="find the fastest parameters")
@@ -316,6 +375,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--baseline", action="store_true",
                     help="profile the six-step 1D FFT instead")
     pr.add_argument("--width", type=int, default=100)
+    pr.add_argument("--devices", default=None,
+                    help="comma-separated device ids to show (default all)")
+    pr.add_argument("--trace-out", default=None,
+                    help="also export a Perfetto trace of the run")
     pr.set_defaults(fn=cmd_profile)
 
     an = sub.add_parser("analyze", help="hazard-sanitize a simulated schedule")
@@ -332,6 +395,19 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--sanitize", action="store_true",
                     help="strict mode: raise HazardError on any finding")
     an.set_defaults(fn=cmd_analyze)
+
+    me = sub.add_parser("metrics", help="observability report for a run")
+    me.add_argument("--pipeline", default="fmmfft",
+                    choices=["fmmfft", "fft1d", "fft2d", "rfft"])
+    me.add_argument("--n", default="2^20", help="size (e.g. 4096 or 2^20)")
+    me.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
+    me.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    me.add_argument("--json", default=None,
+                    help="also write the report as JSON to this path")
+    me.add_argument("--trace-out", default=None,
+                    help="also export a Perfetto trace of the run")
+    me.set_defaults(fn=cmd_metrics)
 
     mo = sub.add_parser("model", help="Section 5 model breakdown")
     mo.add_argument("--n", default="2^24")
@@ -369,6 +445,9 @@ def build_parser() -> argparse.ArgumentParser:
     tc.add_argument("--dtype", default="complex128",
                     choices=["complex64", "complex128"])
     tc.add_argument("--out", default="trace.json")
+    tc.add_argument("--rich", action="store_true",
+                    help="use the repro.obs exporter (named tracks, flow "
+                         "arrows, counters) instead of the flat one")
     tc.set_defaults(fn=cmd_trace)
 
     rp = sub.add_parser("report", help="aggregate benchmark artifacts")

@@ -105,7 +105,8 @@ class FmmFftDistributed:
                 raise ParameterError("execute-mode cluster requires input data")
             self._scatter_input(x, key_s)
         # Algorithm 1 lines 1-14
-        ev_t, r = self.fmm.run(key_in=key_s, key_out=key_t, staged=True)
+        with cl.region("fmmfft"):
+            ev_t, r = self.fmm.run(key_in=key_s, key_out=key_t, staged=True)
         self._r = r
 
         # Relayout T (P, nb_loc, ML) -> A (M/G, P): free at the timing level
@@ -118,17 +119,19 @@ class FmmFftDistributed:
                     c.dev(g)[key_t] = np.ascontiguousarray(
                         T.reshape(plan.P, mloc).T
                     )
-            cl.host_op(0, "relayout", relayout,
-                       reads=[key_t], writes=[key_t])
+            with cl.region("fmmfft"), cl.region("relayout"):
+                cl.host_op(0, "relayout", relayout,
+                           reads=[key_t], writes=[key_t])
 
         # The POST callback is always passed so its (fused) cost is charged;
         # it only actually executes on execute-mode clusters.
-        out = self.fft2d.run(
-            key=key_t,
-            load_callback=self._post_callback,
-            after=ev_t,
-            staged=True,
-        )
+        with cl.region("fmmfft"):
+            out = self.fft2d.run(
+                key=key_t,
+                load_callback=self._post_callback,
+                after=ev_t,
+                staged=True,
+            )
         if cl.execute:
             return np.asarray(out).reshape(plan.N)
         return None

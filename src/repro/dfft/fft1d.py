@@ -207,29 +207,37 @@ class Distributed1DFFT:
             for g in range(G):
                 cl.dev(g).alloc(key, lay_mp.local_shape(), self.dtype)
 
-        # (1) transpose #1: P-major -> M-major (gated on the producer of
-        # ``key`` when there is one; no compute to overlap either way)
-        evs = distributed_transpose(
-            cl, key, key, lay_mp, self.dtype, name="transpose1", chunks=1,
-            after_chunks=[after] if after is not None else None,
-        )
-        # (2) P local FFTs of size M, chunked
-        chunk_evs = self._chunked_row_fft(key, lay_pm, self._plan_M, "fftM", after=evs)
-        # (4) transpose #2, pipelined against (2)
-        evs = distributed_transpose(
-            cl, key, key, lay_pm, self.dtype, name="transpose2",
-            after_chunks=chunk_evs, chunks=self.chunks,
-        )
-        # (3)+(5) twiddle fused into M local FFTs of size P, chunked
-        chunk_evs = self._chunked_row_fft(
-            key, lay_mp, self._plan_P, "fftP", after=evs, twiddle=True
-        )
-        # (6) transpose #3, pipelined against (5)
-        evs = distributed_transpose(
-            cl, key, key, lay_mp, self.dtype, name="transpose3",
-            after_chunks=chunk_evs, chunks=self.chunks,
-        )
-        cl.barrier()
+        with cl.region("fft1d"):
+            # (1) transpose #1: P-major -> M-major (gated on the producer of
+            # ``key`` when there is one; no compute to overlap either way)
+            with cl.region("transpose1"):
+                evs = distributed_transpose(
+                    cl, key, key, lay_mp, self.dtype, name="transpose1", chunks=1,
+                    after_chunks=[after] if after is not None else None,
+                )
+            # (2) P local FFTs of size M, chunked
+            with cl.region("fftM"):
+                chunk_evs = self._chunked_row_fft(
+                    key, lay_pm, self._plan_M, "fftM", after=evs
+                )
+            # (4) transpose #2, pipelined against (2)
+            with cl.region("transpose2"):
+                evs = distributed_transpose(
+                    cl, key, key, lay_pm, self.dtype, name="transpose2",
+                    after_chunks=chunk_evs, chunks=self.chunks,
+                )
+            # (3)+(5) twiddle fused into M local FFTs of size P, chunked
+            with cl.region("fftP"):
+                chunk_evs = self._chunked_row_fft(
+                    key, lay_mp, self._plan_P, "fftP", after=evs, twiddle=True
+                )
+            # (6) transpose #3, pipelined against (5)
+            with cl.region("transpose3"):
+                evs = distributed_transpose(
+                    cl, key, key, lay_mp, self.dtype, name="transpose3",
+                    after_chunks=chunk_evs, chunks=self.chunks,
+                )
+            cl.barrier()
         if cl.execute:
             return np.concatenate(
                 [np.asarray(cl.dev(g)[key]).ravel() for g in range(G)]

@@ -134,18 +134,19 @@ class Distributed2DFFT:
         evs = list(after) if after else [None] * G
         if load_callback is not None and not self.fuse_load:
             new_evs = []
-            for g in range(G):
-                ev = cl.launch(
-                    g, name="load", kind="custom",
-                    flops=8.0 * local_elems,
-                    mops=2.0 * local_elems * itemsize,
-                    dtype=self.dtype, stream="compute",
-                    after=[evs[g]] if evs[g] is not None else (),
-                    fn=(lambda c: self._apply_callback(c, key, load_callback))
-                    if g == 0 else None,
-                    reads=[key], writes=[key],
-                )
-                new_evs.append(ev)
+            with cl.region("fft2d"), cl.region("load"):
+                for g in range(G):
+                    ev = cl.launch(
+                        g, name="load", kind="custom",
+                        flops=8.0 * local_elems,
+                        mops=2.0 * local_elems * itemsize,
+                        dtype=self.dtype, stream="compute",
+                        after=[evs[g]] if evs[g] is not None else (),
+                        fn=(lambda c: self._apply_callback(c, key, load_callback))
+                        if g == 0 else None,
+                        reads=[key], writes=[key],
+                    )
+                    new_evs.append(ev)
             evs = new_evs
 
         # (a) M local FFTs of size P, chunked; fused callback adds flops only.
@@ -162,27 +163,29 @@ class Distributed2DFFT:
             flops += 8.0 * P * rows_chunk
         mops = fft_mops(P, batch=rows_chunk, itemsize=itemsize) / fft_small_n_efficiency(P)
         chunk_evs: list[list[Event]] = []
-        for i in range(self.chunks):
-            # chunk i owns row-chunk i of ``key``: disjoint from the
-            # already-transposing earlier chunks
-            bufs = [key] if self.chunks == 1 else [f"{key}#r{i}"]
-            es = []
-            for g in range(G):
-                ev = cl.launch(
-                    g, name="fft2d.P", kind="fft", flops=flops, mops=mops,
-                    dtype=self.dtype, stream="compute",
-                    after=[evs[g]] if i == 0 and evs[g] is not None else (),
-                    fn=fft_p_fn if (i == 0 and g == 0) else None,
-                    reads=bufs, writes=bufs,
-                )
-                es.append(ev)
-            chunk_evs.append(es)
+        with cl.region("fft2d"), cl.region("fftP"):
+            for i in range(self.chunks):
+                # chunk i owns row-chunk i of ``key``: disjoint from the
+                # already-transposing earlier chunks
+                bufs = [key] if self.chunks == 1 else [f"{key}#r{i}"]
+                es = []
+                for g in range(G):
+                    ev = cl.launch(
+                        g, name="fft2d.P", kind="fft", flops=flops, mops=mops,
+                        dtype=self.dtype, stream="compute",
+                        after=[evs[g]] if i == 0 and evs[g] is not None else (),
+                        fn=fft_p_fn if (i == 0 and g == 0) else None,
+                        reads=bufs, writes=bufs,
+                    )
+                    es.append(ev)
+                chunk_evs.append(es)
 
         # (b) the single all-to-all, pipelined against (a)
-        evs2 = distributed_transpose(
-            cl, key, key, lay_mp, self.dtype, name="fft2d.transpose",
-            after_chunks=chunk_evs, chunks=self.chunks,
-        )
+        with cl.region("fft2d"), cl.region("transpose"):
+            evs2 = distributed_transpose(
+                cl, key, key, lay_mp, self.dtype, name="fft2d.transpose",
+                after_chunks=chunk_evs, chunks=self.chunks,
+            )
 
         # (c) P local FFTs of size M
         lay_pm = lay_mp.transposed()
@@ -194,13 +197,14 @@ class Distributed2DFFT:
 
         flops_m = fft_flops(M, batch=lay_pm.rows_local)
         mops_m = fft_mops(M, batch=lay_pm.rows_local, itemsize=itemsize) / fft_small_n_efficiency(M)
-        for g in range(G):
-            cl.launch(
-                g, name="fft2d.M", kind="fft", flops=flops_m, mops=mops_m,
-                dtype=self.dtype, stream="compute", after=[evs2[g]],
-                fn=fft_m_fn if g == 0 else None,
-                reads=[key], writes=[key],
-            )
+        with cl.region("fft2d"), cl.region("fftM"):
+            for g in range(G):
+                cl.launch(
+                    g, name="fft2d.M", kind="fft", flops=flops_m, mops=mops_m,
+                    dtype=self.dtype, stream="compute", after=[evs2[g]],
+                    fn=fft_m_fn if g == 0 else None,
+                    reads=[key], writes=[key],
+                )
         cl.barrier()
         if cl.execute:
             return np.vstack(

@@ -86,14 +86,16 @@ class DistributedRealFFT:
         # charge the pack pass (read x, write z) on each device; the inner
         # FFT's opening all-to-all must wait on it (it reads ``key``)
         itemr = self.rdtype.itemsize
-        ev_pack = [
-            cl.launch(g, "rfft.pack", "copy", flops=0.0,
-                      mops=(N / G) * itemr + blk * 2 * itemr,
-                      dtype=self.rdtype,
-                      reads=[f"{key}.x"], writes=[key])
-            for g in range(G)
-        ]
-        Zfull = self.inner.run(z, key=key, after=ev_pack)
+        with cl.region("rfft"), cl.region("pack"):
+            ev_pack = [
+                cl.launch(g, "rfft.pack", "copy", flops=0.0,
+                          mops=(N / G) * itemr + blk * 2 * itemr,
+                          dtype=self.rdtype,
+                          reads=[f"{key}.x"], writes=[key])
+                for g in range(G)
+            ]
+        with cl.region("rfft"):
+            Zfull = self.inner.run(z, key=key, after=ev_pack)
 
         # -- (3) mirror exchange + untangle, pipelined in chunks ------------
         # Each untangle chunk needs only its own slice of the mirror
@@ -108,24 +110,26 @@ class DistributedRealFFT:
         for j in range(C):
             part = f"#m{j}" if C > 1 else ""
             ev_mirror: list[Event | None] = [None] * G
-            for g in range(G):
-                # device g needs Z_{h-k} for its k-range: held by the
-                # mirror device; the returned event is the *receive*
-                # completion on that device
-                mirror = (G - 1 - g) if G > 1 else 0
-                ev_mirror[mirror] = cl.sendrecv(
-                    g, mirror, blk * itemc / C, "rfft.mirror",
-                    reads=[key], writes=[f"{key}.mirror{part}"],
-                )
-            last = [
-                cl.launch(g, "rfft.untangle", "custom",
-                          flops=10.0 * blk / C, mops=3 * blk * itemc / C,
-                          dtype=self.cdtype,
-                          after=[ev_mirror[g]] if ev_mirror[g] is not None else (),
-                          reads=[key, f"{key}.mirror{part}"],
-                          writes=[f"{key}.out{part}"])
-                for g in range(G)
-            ]
+            with cl.region("rfft"), cl.region("mirror"):
+                for g in range(G):
+                    # device g needs Z_{h-k} for its k-range: held by the
+                    # mirror device; the returned event is the *receive*
+                    # completion on that device
+                    mirror = (G - 1 - g) if G > 1 else 0
+                    ev_mirror[mirror] = cl.sendrecv(
+                        g, mirror, blk * itemc / C, "rfft.mirror",
+                        reads=[key], writes=[f"{key}.mirror{part}"],
+                    )
+            with cl.region("rfft"), cl.region("untangle"):
+                last = [
+                    cl.launch(g, "rfft.untangle", "custom",
+                              flops=10.0 * blk / C, mops=3 * blk * itemc / C,
+                              dtype=self.cdtype,
+                              after=[ev_mirror[g]] if ev_mirror[g] is not None else (),
+                              reads=[key, f"{key}.mirror{part}"],
+                              writes=[f"{key}.out{part}"])
+                    for g in range(G)
+                ]
         evs = last
         cl.barrier()
 

@@ -134,167 +134,175 @@ class DistributedFMM:
 
         # ---- line 1: S2M (one BatchedGEMM per device) --------------------
         flops, mops = self._gemm_cost(Q, nb_loc, ML, P - 1)
-        ev_s2m = [
-            cl.launch(
-                g, "S2M", "batched_gemm", flops, mops, self.dtype,
-                fn=(lambda c: self._do_s2m(key_in)) if g == 0 else None,
-                reads=[key_in], writes=[f"fmm.M{L}"],
-            )
-            for g in range(G)
-        ]
+        with cl.region("fmm"), cl.region("S2M"):
+            ev_s2m = [
+                cl.launch(
+                    g, "S2M", "batched_gemm", flops, mops, self.dtype,
+                    fn=(lambda c: self._do_s2m(key_in)) if g == 0 else None,
+                    reads=[key_in], writes=[f"fmm.M{L}"],
+                )
+                for g in range(G)
+            ]
 
         # ---- line 2: COMM S (halo width 1), overlapped with S2M ----------
         halo_bytes = (P - 1) * ML * self.csize
-        ev_shalo = self._halo_exchange("S", key_in, 1, halo_bytes, "COMM-S")
+        with cl.region("fmm"), cl.region("halo-S"):
+            ev_shalo = self._halo_exchange("S", key_in, 1, halo_bytes, "COMM-S")
 
         # ---- line 3: S2T after the S halo ---------------------------------
         flops = 6.0 * self.C * ML * ML * nb_loc * (P - 1)
         # operators generated on the fly (Section 5.3): traffic is the
         # halo-extended read of S plus the write of T.
         mops = (nb_loc + 2) * ML * P * self.csize + nb_loc * ML * P * self.csize
-        ev_s2t = [
-            cl.launch(
-                g, "S2T", "custom", flops, mops, self.dtype,
-                after=[ev_shalo[g], ],
-                fn=(lambda c: self._do_s2t(key_in, key_out)) if g == 0 else None,
-                reads=[key_in, "fmm.halo.S"], writes=[key_out],
-            )
-            for g in range(G)
-        ]
+        with cl.region("fmm"), cl.region("S2T"):
+            ev_s2t = [
+                cl.launch(
+                    g, "S2T", "custom", flops, mops, self.dtype,
+                    after=[ev_shalo[g], ],
+                    fn=(lambda c: self._do_s2t(key_in, key_out)) if g == 0 else None,
+                    reads=[key_in, "fmm.halo.S"], writes=[key_out],
+                )
+                for g in range(G)
+            ]
 
         # ---- lines 4-5: M2M up the tree -----------------------------------
         ev_m_level: dict[int, list[Event]] = {L: list(ev_s2m)}
         ev_m = list(ev_s2m)
-        for ell in o.tree.levels_m2m():
-            nbl = o.tree.boxes_local(ell)
-            flops, mops = self._gemm_cost(Q, nbl, 2 * Q, P - 1)
-            ev_m = [
-                cl.launch(
-                    g, f"M2M-{ell}", "batched_gemm", flops, mops, self.dtype,
-                    after=[ev_m[g]],
-                    fn=(lambda c, e=ell: self._do_m2m(e)) if g == 0 else None,
-                    reads=[f"fmm.M{ell + 1}"], writes=[f"fmm.M{ell}"],
-                )
-                for g in range(G)
-            ]
-            ev_m_level[ell] = ev_m
+        with cl.region("fmm"), cl.region("upward"):
+            for ell in o.tree.levels_m2m():
+                nbl = o.tree.boxes_local(ell)
+                flops, mops = self._gemm_cost(Q, nbl, 2 * Q, P - 1)
+                ev_m = [
+                    cl.launch(
+                        g, f"M2M-{ell}", "batched_gemm", flops, mops, self.dtype,
+                        after=[ev_m[g]],
+                        fn=(lambda c, e=ell: self._do_m2m(e)) if g == 0 else None,
+                        reads=[f"fmm.M{ell + 1}"], writes=[f"fmm.M{ell}"],
+                    )
+                    for g in range(G)
+                ]
+                ev_m_level[ell] = ev_m
 
         # ---- lines 6-8: M halo + cousin M2L per level ----------------------
         ev_loc: dict[int, list[Event]] = {}
         ev_mh_level: dict[int, list[Event]] = {}
-        for ell in o.tree.levels_m2l():
-            nbl = o.tree.boxes_local(ell)
-            mh_bytes = 2 * (P - 1) * Q * self.csize  # two boxes per side
-            ev_mh = self._halo_exchange(f"M{ell}", None, 2, mh_bytes, f"COMM-M{ell}",
-                                        level=ell, after=ev_m_level[ell])
-            ev_mh_level[ell] = ev_mh
-            if self.fuse_m2l_l2l:
-                continue  # M2L runs fused with L2L in the downward pass
-            flops = 6.0 * self.C * nbl * (P - 1) * Q * Q
-            mops = ((nbl + 4) * Q + nbl * Q) * (P - 1) * self.csize
-            ev_loc[ell] = [
+        with cl.region("fmm"), cl.region("m2l"):
+            for ell in o.tree.levels_m2l():
+                nbl = o.tree.boxes_local(ell)
+                mh_bytes = 2 * (P - 1) * Q * self.csize  # two boxes per side
+                ev_mh = self._halo_exchange(f"M{ell}", None, 2, mh_bytes, f"COMM-M{ell}",
+                                            level=ell, after=ev_m_level[ell])
+                ev_mh_level[ell] = ev_mh
+                if self.fuse_m2l_l2l:
+                    continue  # M2L runs fused with L2L in the downward pass
+                flops = 6.0 * self.C * nbl * (P - 1) * Q * Q
+                mops = ((nbl + 4) * Q + nbl * Q) * (P - 1) * self.csize
+                ev_loc[ell] = [
+                    cl.launch(
+                        g, f"M2L-{ell}", "custom", flops, mops, self.dtype,
+                        after=[ev_mh[g]],
+                        fn=(lambda c, e=ell: self._do_m2l_level(e)) if g == 0 else None,
+                        reads=[f"fmm.M{ell}", f"fmm.halo.M{ell}"],
+                        writes=[f"fmm.L{ell}"],
+                    )
+                    for g in range(G)
+                ]
+
+        with cl.region("fmm"), cl.region("base"):
+            # ---- line 9: all-to-all gather of base multipoles ---------------
+            base_bytes = (P - 1) * o.tree.boxes_local(B) * Q * self.csize
+            ev_gather = cl.allgather(
+                base_bytes, "COMM-MB",
+                after=[ev_m[g] for g in range(G)] if G > 1 else ev_m,
+                fn=lambda c: self._do_gather_base(),
+                reads=[f"fmm.M{B}"], writes=["fmm.MB"],
+            )
+
+            # ---- line 10: dense base-level M2L ------------------------------
+            nS = (1 << B) - 3
+            nbB_loc = o.tree.boxes_local(B)
+            flops = 2.0 * self.C * nbB_loc * nS * (P - 1) * Q * Q
+            mops = ((1 << B) * Q + nbB_loc * Q) * (P - 1) * self.csize
+            ev_base = [
                 cl.launch(
-                    g, f"M2L-{ell}", "custom", flops, mops, self.dtype,
-                    after=[ev_mh[g]],
-                    fn=(lambda c, e=ell: self._do_m2l_level(e)) if g == 0 else None,
-                    reads=[f"fmm.M{ell}", f"fmm.halo.M{ell}"],
-                    writes=[f"fmm.L{ell}"],
+                    g, "M2L-B", "custom", flops, mops, self.dtype,
+                    after=[ev_gather[min(g, len(ev_gather) - 1)]],
+                    fn=(lambda c: self._do_m2l_base()) if g == 0 else None,
+                    reads=["fmm.MB"], writes=[f"fmm.L{B}"],
                 )
                 for g in range(G)
             ]
 
-        # ---- line 9: all-to-all gather of base multipoles -------------------
-        base_bytes = (P - 1) * o.tree.boxes_local(B) * Q * self.csize
-        ev_gather = cl.allgather(
-            base_bytes, "COMM-MB",
-            after=[ev_m[g] for g in range(G)] if G > 1 else ev_m,
-            fn=lambda c: self._do_gather_base(),
-            reads=[f"fmm.M{B}"], writes=["fmm.MB"],
-        )
-
-        # ---- line 10: dense base-level M2L -----------------------------------
-        nS = (1 << B) - 3
-        nbB_loc = o.tree.boxes_local(B)
-        flops = 2.0 * self.C * nbB_loc * nS * (P - 1) * Q * Q
-        mops = ((1 << B) * Q + nbB_loc * Q) * (P - 1) * self.csize
-        ev_base = [
-            cl.launch(
-                g, "M2L-B", "custom", flops, mops, self.dtype,
-                after=[ev_gather[min(g, len(ev_gather) - 1)]],
-                fn=(lambda c: self._do_m2l_base()) if g == 0 else None,
-                reads=["fmm.MB"], writes=[f"fmm.L{B}"],
-            )
-            for g in range(G)
-        ]
-
-        # ---- line 11: REDUCE (one GEMV on the gathered base data) ------------
-        flops = self.C * (1 << B) * (P - 1) * Q
-        mops = (1 << B) * (P - 1) * Q * self.csize + (P - 1) * self.csize
-        ev_red = [
-            cl.launch(
-                g, "REDUCE", "gemv", flops, mops, self.dtype,
-                after=[ev_gather[min(g, len(ev_gather) - 1)]],
-                fn=(lambda c: self._do_reduce()) if g == 0 else None,
-                reads=["fmm.MB"], writes=["fmm.r"],
-            )
-            for g in range(G)
-        ]
+            # ---- line 11: REDUCE (one GEMV on the gathered base data) -------
+            flops = self.C * (1 << B) * (P - 1) * Q
+            mops = (1 << B) * (P - 1) * Q * self.csize + (P - 1) * self.csize
+            ev_red = [
+                cl.launch(
+                    g, "REDUCE", "gemv", flops, mops, self.dtype,
+                    after=[ev_gather[min(g, len(ev_gather) - 1)]],
+                    fn=(lambda c: self._do_reduce()) if g == 0 else None,
+                    reads=["fmm.MB"], writes=["fmm.r"],
+                )
+                for g in range(G)
+            ]
 
         # ---- lines 12-13: L2L down the tree -----------------------------------
         ev_l = ev_base
-        for ell in o.tree.levels_l2l():
-            nbl = o.tree.boxes_local(ell)
-            flops, mops = self._gemm_cost(2 * Q, nbl, Q, P - 1)
-            if self.fuse_m2l_l2l:
-                # one kernel: M2L-(ell+1) accumulated with L2L-(ell);
-                # saves one write + one read of the child L data.
-                nbl1 = o.tree.boxes_local(ell + 1)
-                flops += 6.0 * self.C * nbl1 * (P - 1) * Q * Q
-                mops += ((nbl1 + 4) * Q + nbl1 * Q) * (P - 1) * self.csize
-                mops -= 2.0 * nbl1 * Q * (P - 1) * self.csize
-                waits = [
-                    max(ev_l[g], ev_mh_level[ell + 1][g], key=lambda e: e.time)
-                    for g in range(G)
-                ]
+        with cl.region("fmm"), cl.region("downward"):
+            for ell in o.tree.levels_l2l():
+                nbl = o.tree.boxes_local(ell)
+                flops, mops = self._gemm_cost(2 * Q, nbl, Q, P - 1)
+                if self.fuse_m2l_l2l:
+                    # one kernel: M2L-(ell+1) accumulated with L2L-(ell);
+                    # saves one write + one read of the child L data.
+                    nbl1 = o.tree.boxes_local(ell + 1)
+                    flops += 6.0 * self.C * nbl1 * (P - 1) * Q * Q
+                    mops += ((nbl1 + 4) * Q + nbl1 * Q) * (P - 1) * self.csize
+                    mops -= 2.0 * nbl1 * Q * (P - 1) * self.csize
+                    waits = [
+                        max(ev_l[g], ev_mh_level[ell + 1][g], key=lambda e: e.time)
+                        for g in range(G)
+                    ]
+                    ev_l = [
+                        cl.launch(
+                            g, f"M2L+L2L-{ell + 1}", "custom", flops, mops, self.dtype,
+                            after=[waits[g]],
+                            fn=(lambda c, e=ell: self._do_fused_m2l_l2l(e)) if g == 0 else None,
+                            reads=[f"fmm.M{ell + 1}", f"fmm.halo.M{ell + 1}",
+                                   f"fmm.L{ell}"],
+                            writes=[f"fmm.L{ell + 1}"],
+                        )
+                        for g in range(G)
+                    ]
+                    continue
+                waits = [ev_l[g] for g in range(G)]
+                # the destination level's own M2L must also be done
+                if (ell + 1) in ev_loc:
+                    waits = [max(waits[g], ev_loc[ell + 1][g], key=lambda e: e.time) for g in range(G)]
                 ev_l = [
                     cl.launch(
-                        g, f"M2L+L2L-{ell + 1}", "custom", flops, mops, self.dtype,
+                        g, f"L2L-{ell}", "batched_gemm", flops, mops, self.dtype,
                         after=[waits[g]],
-                        fn=(lambda c, e=ell: self._do_fused_m2l_l2l(e)) if g == 0 else None,
-                        reads=[f"fmm.M{ell + 1}", f"fmm.halo.M{ell + 1}",
-                               f"fmm.L{ell}"],
+                        fn=(lambda c, e=ell: self._do_l2l(e)) if g == 0 else None,
+                        reads=[f"fmm.L{ell}", f"fmm.L{ell + 1}"],
                         writes=[f"fmm.L{ell + 1}"],
                     )
                     for g in range(G)
                 ]
-                continue
-            waits = [ev_l[g] for g in range(G)]
-            # the destination level's own M2L must also be done
-            if (ell + 1) in ev_loc:
-                waits = [max(waits[g], ev_loc[ell + 1][g], key=lambda e: e.time) for g in range(G)]
-            ev_l = [
-                cl.launch(
-                    g, f"L2L-{ell}", "batched_gemm", flops, mops, self.dtype,
-                    after=[waits[g]],
-                    fn=(lambda c, e=ell: self._do_l2l(e)) if g == 0 else None,
-                    reads=[f"fmm.L{ell}", f"fmm.L{ell + 1}"],
-                    writes=[f"fmm.L{ell + 1}"],
-                )
-                for g in range(G)
-            ]
 
         # ---- line 14: L2T (accumulate into T) ----------------------------------
         flops, mops = self._gemm_cost(ML, nb_loc, Q, P - 1)
         mops += nb_loc * ML * (P - 1) * self.csize  # read T for accumulation
-        ev_t = [
-            cl.launch(
-                g, "L2T", "batched_gemm", flops, mops, self.dtype,
-                after=[ev_l[g], ev_s2t[g]],
-                fn=(lambda c: self._do_l2t(key_out)) if g == 0 else None,
-                reads=[f"fmm.L{L}", key_out], writes=[key_out],
-            )
-            for g in range(G)
-        ]
+        with cl.region("fmm"), cl.region("L2T"):
+            ev_t = [
+                cl.launch(
+                    g, "L2T", "batched_gemm", flops, mops, self.dtype,
+                    after=[ev_l[g], ev_s2t[g]],
+                    fn=(lambda c: self._do_l2t(key_out)) if g == 0 else None,
+                    reads=[f"fmm.L{L}", key_out], writes=[key_out],
+                )
+                for g in range(G)
+            ]
 
         r = self._r if cl.execute else None
         return ev_t, r

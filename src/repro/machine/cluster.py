@@ -30,7 +30,8 @@ race-free — or pinpoint the missing dependency when it is not.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -64,6 +65,7 @@ class VirtualCluster:
         ]
         self.ledger = Ledger()
         self._a2a_bw = spec.alltoall_bandwidth() if spec.num_devices > 1 else None
+        self._regions: list[str] = []
 
     # -- basic accessors ----------------------------------------------
 
@@ -97,6 +99,38 @@ class VirtualCluster:
         from repro.analysis.hazards import find_hazards
 
         find_hazards(self.ledger).raise_if_any()
+
+    # -- region annotation --------------------------------------------
+
+    @property
+    def region_path(self) -> str:
+        """The '/'-joined path of the active region scopes ('' if none)."""
+        return "/".join(self._regions)
+
+    @contextmanager
+    def region(self, name: str) -> Iterator["VirtualCluster"]:
+        """Scope ops under a pipeline-stage region (nestable).
+
+        Every op issued inside the ``with`` block is stamped with the
+        full region path, e.g.::
+
+            with cl.region("fmmfft"):
+                with cl.region("fmm"):
+                    cl.launch(...)        # region == "fmmfft/fmm"
+
+        Regions are telemetry only — they never affect timing, events,
+        or the hazard analysis.  The metrics engine in :mod:`repro.obs`
+        rolls ledger records up by this path.
+        """
+        if not name or "/" in name:
+            raise ParameterError(
+                f"region name must be a non-empty path segment, got {name!r}"
+            )
+        self._regions.append(name)
+        try:
+            yield self
+        finally:
+            self._regions.pop()
 
     # -- dependency bookkeeping ---------------------------------------
 
@@ -145,6 +179,7 @@ class VirtualCluster:
                 reads=self._qualify(g, reads),
                 writes=self._qualify(g, writes),
                 waits=self._wait_uids(after),
+                region=self.region_path,
             )
         )
         if fn is not None and self.execute:
@@ -166,7 +201,8 @@ class VirtualCluster:
             OpRecord(device=g, stream="compute", kind="host", name=name,
                      start=st.clock, duration=0.0,
                      reads=self._qualify(g, reads),
-                     writes=self._qualify(g, writes))
+                     writes=self._qualify(g, writes),
+                     region=self.region_path)
         )
         if fn is not None and self.execute:
             fn(self)
@@ -210,7 +246,8 @@ class VirtualCluster:
                      start=start, duration=dur, comm_bytes=nbytes, peer=dst,
                      reads=self._qualify(src, reads),
                      writes=self._qualify(dst, writes),
-                     waits=self._wait_uids(after))
+                     waits=self._wait_uids(after),
+                     region=self.region_path)
         )
         if fn is not None and self.execute:
             fn(self)
@@ -256,7 +293,8 @@ class VirtualCluster:
                          start=start, duration=dur, comm_bytes=bytes_per_device,
                          reads=self._qualify(g, reads),
                          writes=self._qualify(g, writes),
-                         waits=waits)
+                         waits=waits,
+                         region=self.region_path)
             )
             for g in range(self.G)
         ]

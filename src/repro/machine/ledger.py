@@ -56,6 +56,12 @@ class OpRecord:
     waits:
         Uids of the ops whose completion events this op waited on (its
         explicit cross-stream dependency edges).
+    region:
+        Hierarchical pipeline-stage path (``"fmmfft/fmm"``) stamped by
+        the engine from the active ``cluster.region(...)`` scopes.
+        Empty for ops issued outside any region.  Metrics roll up by
+        this path, so stage accounting survives renames of individual
+        kernels (see :mod:`repro.obs`).
     """
 
     device: int
@@ -72,6 +78,7 @@ class OpRecord:
     reads: tuple = ()
     writes: tuple = ()
     waits: tuple = ()
+    region: str = ""
 
     @property
     def end(self) -> float:
@@ -167,6 +174,13 @@ class Ledger:
         acc: dict[str, float] = defaultdict(float)
         for r in self.records(device=device):
             acc[r.name] += r.mops
+        return dict(acc)
+
+    def time_by_region(self, device: int | None = None) -> dict[str, float]:
+        """Total duration per region path (``""`` for unregioned ops)."""
+        acc: dict[str, float] = defaultdict(float)
+        for r in self.records(device=device):
+            acc[r.region] += r.duration
         return dict(acc)
 
     def comm_bytes_by_name(self, device: int | None = None) -> dict[str, float]:

@@ -128,6 +128,20 @@ class ExecutionTrace:
 
         Path(path).write_text(json.dumps({"traceEvents": self.to_chrome_trace()}))
 
+    def to_perfetto(self) -> dict:
+        """Export via the richer :mod:`repro.obs.perfetto` pipeline:
+        named tracks, flow arrows for dependency edges, and counter
+        tracks.  Lazy import — obs depends on machine, not vice versa."""
+        from repro.obs.perfetto import build_trace
+
+        return build_trace(self.ledger, self.spec)
+
+    def save_perfetto(self, path) -> None:
+        """Write a Perfetto-UI-loadable JSON file (rich exporter)."""
+        from repro.obs.perfetto import save_trace
+
+        save_trace(path, self.ledger, self.spec)
+
     def compute_time(self, device: int | None = None) -> float:
         """Total duration of non-comm ops (summed, not unioned)."""
         return sum(

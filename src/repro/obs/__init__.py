@@ -1,0 +1,62 @@
+"""Observability: the ledger as first-class telemetry.
+
+The paper's headline evidence is observability — Figure 2 is an nvprof
+timeline showing comm hidden under compute, and Section 5's model is
+validated by joining per-kernel measurements against closed-form
+predictions.  This package gives the simulator the same toolchain:
+
+- :mod:`repro.obs.region` — a hierarchical region API
+  (``with obs.region(cl, "fmmfft/fmm"): ...``) threaded through the
+  ``dfft``/``fmm``/``core`` pipelines, stamping every
+  :class:`~repro.machine.ledger.OpRecord` with a stage path;
+- :mod:`repro.obs.perfetto` — Perfetto/Chrome trace-event export: one
+  track per (device, engine), flow arrows for wait edges and
+  sendrecv/collective pairs, counter tracks for achieved GFLOP/s,
+  memory GB/s, and in-flight comm bytes;
+- :mod:`repro.obs.metrics` — per-stage rollups, the measured-vs-model
+  join (Figure 5 efficiencies), comm/compute overlap and exposed-comm
+  accounting, and critical-path extraction with per-op slack over the
+  happens-before graph;
+- :mod:`repro.obs.bench` — the ``BENCH_obs.json`` harness recording the
+  perf trajectory per testbed.
+
+CLI entry points: ``repro metrics``, ``repro profile --trace-out``,
+``repro transform --trace-out``, ``python -m repro.obs``.  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    CriticalPath,
+    MetricsReport,
+    ModelJoin,
+    OverlapStats,
+    StageStat,
+    compute_metrics,
+    critical_path,
+    join_fmm_model,
+    overlap_stats,
+    overlap_summary,
+    rollup,
+)
+from repro.obs.perfetto import build_trace, save_trace, validate_trace
+from repro.obs.region import region
+
+__all__ = [
+    "CriticalPath",
+    "MetricsReport",
+    "ModelJoin",
+    "OverlapStats",
+    "StageStat",
+    "build_trace",
+    "compute_metrics",
+    "critical_path",
+    "join_fmm_model",
+    "overlap_stats",
+    "overlap_summary",
+    "region",
+    "rollup",
+    "save_trace",
+    "validate_trace",
+]

@@ -1,0 +1,39 @@
+"""CLI entry: ``python -m repro.obs`` runs the observability bench.
+
+Collects :func:`repro.obs.bench.collect_obs_bench` over the requested
+testbeds and writes ``BENCH_obs.json`` — see ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, run the bench, print and persist the payload."""
+    from repro.cli import _parse_size
+    from repro.obs.bench import DEFAULT_SYSTEMS, render_bench, write_bench_json
+
+    p = argparse.ArgumentParser(prog="repro.obs", description=__doc__)
+    p.add_argument("--n", default="2^20", help="size (e.g. 4096 or 2^20)")
+    p.add_argument("--systems", default=",".join(DEFAULT_SYSTEMS),
+                   help="comma-separated preset names")
+    p.add_argument("--dtype", default="complex128",
+                   choices=["complex64", "complex128"])
+    p.add_argument("--out", default=None,
+                   help="output path (default benchmarks/out/BENCH_obs.json)")
+    args = p.parse_args(argv)
+
+    path = write_bench_json(
+        args.out, systems=tuple(args.systems.split(",")),
+        N=_parse_size(args.n), dtype=args.dtype,
+    )
+    print(render_bench(json.loads(path.read_text())))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

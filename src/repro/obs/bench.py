@@ -1,0 +1,110 @@
+"""The observability bench harness: the repo's perf trajectory record.
+
+Every optimisation PR needs numbers to prove itself; this module
+produces them.  :func:`collect_obs_bench` runs the FMM-FFT and the
+six-step baseline on each simulated testbed and reduces the run to the
+metrics that matter for the paper's claims: wall time, exposed-comm
+seconds, comm-hidden fraction, and critical-path length/op-count.
+:func:`write_bench_json` persists the result as ``BENCH_obs.json``
+(default: ``benchmarks/out/``), which CI uploads as an artifact so the
+trajectory is recorded per commit.
+
+Run standalone::
+
+    python -m repro.obs --n 2^20 --systems 2xP100,8xP100
+
+or through the pytest harness (``benchmarks/bench_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import preset
+from repro.obs.metrics import compute_metrics
+
+#: testbeds benched by default (every preset the paper measures on)
+DEFAULT_SYSTEMS = ("2xK40c", "2xP100", "8xP100")
+
+
+def _reduce(report, launches: int) -> dict:
+    """One pipeline's BENCH row: the headline scalars only."""
+    return {
+        "wall_time": report.wall_time,
+        "exposed_comm": report.exposed_comm,
+        "overlap_fraction": report.overlap_fraction,
+        "critical_path_length": report.path.length,
+        "critical_path_ops": len(report.path.ops),
+        "launches": launches,
+    }
+
+
+def collect_obs_bench(
+    systems: tuple[str, ...] = DEFAULT_SYSTEMS,
+    N: int = 1 << 20,
+    dtype: str = "complex128",
+) -> dict:
+    """Run both pipelines per testbed and collect the BENCH payload."""
+    from repro.core.distributed import FmmFftDistributed
+    from repro.core.plan import FmmFftPlan
+    from repro.dfft.fft1d import Distributed1DFFT
+    from repro.model.search import find_fastest
+
+    out: dict = {"N": N, "dtype": dtype, "testbeds": {}}
+    for name in systems:
+        spec = preset(name)
+
+        cl_b = VirtualCluster(spec, execute=False)
+        Distributed1DFFT(N, cl_b, dtype=dtype).run()
+        rep_b = compute_metrics(cl_b.ledger, spec, dtype=dtype)
+
+        r = find_fastest(N, spec, dtype=dtype)
+        plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=dtype,
+                                 build_operators=False, **r.params)
+        cl_f = VirtualCluster(spec, execute=False)
+        FmmFftDistributed(plan, cl_f).run()
+        rep_f = compute_metrics(cl_f.ledger, spec, geom=plan.geometry,
+                                dtype=dtype)
+
+        out["testbeds"][name] = {
+            "params": r.params,
+            "fft1d": _reduce(rep_b, cl_b.ledger.launch_count()),
+            "fmmfft": _reduce(rep_f, cl_f.ledger.launch_count()),
+            "speedup": rep_b.wall_time / rep_f.wall_time
+            if rep_f.wall_time > 0 else 0.0,
+        }
+    return out
+
+
+def write_bench_json(
+    path: str | Path | None = None,
+    systems: tuple[str, ...] = DEFAULT_SYSTEMS,
+    N: int = 1 << 20,
+    dtype: str = "complex128",
+) -> Path:
+    """Collect and persist BENCH_obs.json; returns the output path."""
+    from repro.bench.figures import out_dir
+
+    out = Path(path) if path is not None else out_dir() / "BENCH_obs.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(collect_obs_bench(systems, N, dtype), indent=1))
+    return out
+
+
+def render_bench(payload: dict) -> str:
+    """Compact text view of a BENCH payload (for the report artifact)."""
+    from repro.util.table import Table, format_time
+
+    t = Table(["system", "pipeline", "wall", "exposed comm", "hidden frac",
+               "crit-path ops"],
+              title=f"Observability bench, N={payload['N']} ({payload['dtype']})")
+    for system, row in payload["testbeds"].items():
+        for pipe in ("fft1d", "fmmfft"):
+            m = row[pipe]
+            t.add_row([system, pipe, format_time(m["wall_time"]),
+                       format_time(m["exposed_comm"]),
+                       f"{m['overlap_fraction']:.3f}",
+                       m["critical_path_ops"]])
+    return t.render()

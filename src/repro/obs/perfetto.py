@@ -1,0 +1,286 @@
+"""Perfetto / Chrome trace-event export of a simulated run.
+
+Figure 2 of the paper is an nvprof timeline; this module produces the
+machine-readable equivalent of that figure from any :class:`Ledger`:
+a `Chrome trace-event JSON`_ document that loads directly in
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+The trace contains, per the trace-event format:
+
+- one **process per device** and one **track (thread) per engine** —
+  ``compute``, ``comm.tx``, ``comm.rx``, plus any custom streams —
+  named via ``M`` metadata events;
+- one **duration event** (``ph: "X"``) per op.  Point-to-point comm is
+  drawn on *both* endpoints: the record on the sender's ``comm.tx``
+  track and a mirror on the receiver's ``comm.rx`` track, exactly as
+  nvprof shows a copy on both DMA engines;
+- **flow events** (``s``/``f``) for every happens-before wait edge, for
+  each sendrecv's tx→rx pair, and from the lead device of a collective
+  to every other participant — the arrows that make "S2T waited on the
+  S halo" visible in the UI;
+- **counter tracks** (``ph: "C"``) per device for achieved GFLOP/s,
+  memory GB/s, and in-flight comm bytes, computed as exact step
+  functions from the op intervals.
+
+.. _Chrome trace-event JSON:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+
+from repro.machine.ledger import Ledger, OpRecord
+from repro.machine.spec import ClusterSpec
+
+#: event phases a trace produced here may contain (validation whitelist)
+PHASES = ("X", "M", "C", "s", "t", "f")
+
+#: canonical engine order for track (tid) assignment
+_TRACK_ORDER = {"compute": 0, "comm.tx": 1, "comm.rx": 2}
+
+
+def _track_for(rec: OpRecord) -> tuple[int, str]:
+    """(pid, track name) where a record's primary X event is drawn."""
+    if rec.kind == "comm":
+        return (rec.device, "comm.tx")
+    return (rec.device, rec.stream)
+
+
+def _assign_tids(ledger: Ledger) -> dict[tuple[int, str], int]:
+    """Deterministic tid per (device, track): engines first, then name."""
+    tracks: set[tuple[int, str]] = set()
+    for r in ledger:
+        tracks.add(_track_for(r))
+        if r.kind == "comm" and r.peer >= 0:
+            tracks.add((r.peer, "comm.rx"))
+    tids: dict[tuple[int, str], int] = {}
+    by_dev: dict[int, list[str]] = defaultdict(list)
+    for dev, name in tracks:
+        by_dev[dev].append(name)
+    for dev in sorted(by_dev):
+        names = sorted(by_dev[dev], key=lambda n: (_TRACK_ORDER.get(n, 99), n))
+        for i, name in enumerate(names):
+            tids[(dev, name)] = i
+    return tids
+
+
+def _op_args(rec: OpRecord) -> dict:
+    """The args payload of one op's duration event."""
+    args = {
+        "uid": rec.uid,
+        "kind": rec.kind,
+        "region": rec.region,
+        "flops": rec.flops,
+        "mops": rec.mops,
+        "comm_bytes": rec.comm_bytes,
+    }
+    if rec.duration > 0.0:
+        if rec.flops:
+            args["gflops"] = rec.flops / rec.duration / 1e9
+        if rec.mops:
+            args["mem_gbs"] = rec.mops / rec.duration / 1e9
+        if rec.comm_bytes:
+            args["comm_gbs"] = rec.comm_bytes / rec.duration / 1e9
+    return args
+
+
+def _counter_events(ledger: Ledger) -> list[dict]:
+    """Step-function counters per device: GFLOP/s, GB/s, in-flight bytes.
+
+    Each op contributes its average rate over its own interval; the
+    counter at any instant is the sum over in-flight ops, emitted as one
+    ``C`` sample per change point.  In-flight comm bytes attribute a
+    transfer to its sender (collectives to every participant).
+    """
+    deltas: dict[tuple[int, str], list[tuple[float, float]]] = defaultdict(list)
+    for r in ledger:
+        if r.duration <= 0.0:
+            continue
+        if r.kind == "comm":
+            deltas[(r.device, "in-flight comm bytes")].append((r.start, r.comm_bytes))
+            deltas[(r.device, "in-flight comm bytes")].append((r.end, -r.comm_bytes))
+            continue
+        if r.flops:
+            rate = r.flops / r.duration / 1e9
+            deltas[(r.device, "GFLOP/s")].append((r.start, rate))
+            deltas[(r.device, "GFLOP/s")].append((r.end, -rate))
+        if r.mops:
+            rate = r.mops / r.duration / 1e9
+            deltas[(r.device, "mem GB/s")].append((r.start, rate))
+            deltas[(r.device, "mem GB/s")].append((r.end, -rate))
+    events: list[dict] = []
+    for (dev, name) in sorted(deltas):
+        level = 0.0
+        acc: dict[float, float] = defaultdict(float)
+        for t, d in deltas[(dev, name)]:
+            acc[t] += d
+        for t in sorted(acc):
+            level += acc[t]
+            if abs(level) < 1e-12:
+                level = 0.0
+            events.append({
+                "name": name, "ph": "C", "pid": dev,
+                "ts": t * 1e6, "args": {"value": level},
+            })
+    return events
+
+
+def build_trace(ledger: Ledger, spec: ClusterSpec | None = None) -> dict:
+    """Export a ledger as a complete Chrome trace-event document.
+
+    ``spec`` (optional) names the processes after the device model.
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}``; dump
+    with :func:`save_trace` or ``json.dumps``.
+    """
+    tids = _assign_tids(ledger)
+    events: list[dict] = []
+
+    # -- metadata: process/thread names --------------------------------
+    devices = sorted({dev for dev, _ in tids})
+    dev_label = spec.device.name if spec is not None else "device"
+    for dev in devices:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": dev,
+            "args": {"name": f"dev{dev} ({dev_label})"},
+        })
+    for (dev, track) in sorted(tids):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": dev,
+            "tid": tids[(dev, track)], "args": {"name": track},
+        })
+        events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": dev,
+            "tid": tids[(dev, track)],
+            "args": {"sort_index": tids[(dev, track)]},
+        })
+
+    # -- duration events ------------------------------------------------
+    recs = list(ledger)
+    by_uid = {r.uid: r for r in recs}
+    for r in recs:
+        pid, track = _track_for(r)
+        events.append({
+            "name": r.name, "cat": r.kind, "ph": "X",
+            "pid": pid, "tid": tids[(pid, track)],
+            "ts": r.start * 1e6, "dur": r.duration * 1e6,
+            "args": _op_args(r),
+        })
+        if r.kind == "comm" and r.peer >= 0:
+            # mirror on the receiver's rx engine (nvprof draws both ends)
+            events.append({
+                "name": r.name, "cat": r.kind, "ph": "X",
+                "pid": r.peer, "tid": tids[(r.peer, "comm.rx")],
+                "ts": r.start * 1e6, "dur": r.duration * 1e6,
+                "args": dict(_op_args(r), rx_of=r.device),
+            })
+
+    # -- flow events -----------------------------------------------------
+    flow_id = 0
+
+    def _flow(name: str, a_pid: int, a_track: str, a_ts: float,
+              b_pid: int, b_track: str, b_ts: float) -> None:
+        nonlocal flow_id
+        flow_id += 1
+        events.append({
+            "name": name, "cat": "dep", "ph": "s", "id": flow_id,
+            "pid": a_pid, "tid": tids[(a_pid, a_track)], "ts": a_ts * 1e6,
+        })
+        events.append({
+            "name": name, "cat": "dep", "ph": "f", "bp": "e", "id": flow_id,
+            "pid": b_pid, "tid": tids[(b_pid, b_track)], "ts": b_ts * 1e6,
+        })
+
+    for r in recs:
+        pid, track = _track_for(r)
+        for w in r.waits:
+            p = by_uid.get(w)
+            if p is None or p.uid == r.uid:
+                continue
+            p_pid, p_track = _track_for(p)
+            _flow("wait", p_pid, p_track, p.end, pid, track, r.start)
+        if r.kind == "comm" and r.peer >= 0:
+            _flow("sendrecv", r.device, "comm.tx", r.start,
+                  r.peer, "comm.rx", r.end)
+
+    # collectives: link the lead record to every other participant
+    groups: dict[tuple[str, float, float], list[OpRecord]] = defaultdict(list)
+    for r in recs:
+        if r.kind == "comm" and r.peer < 0:
+            groups[(r.name, r.start, r.duration)].append(r)
+    for key in sorted(groups, key=lambda k: (k[1], k[0])):
+        members = sorted(groups[key], key=lambda r: r.uid)
+        lead = members[0]
+        for other in members[1:]:
+            _flow("collective", lead.device, "comm.tx", lead.start,
+                  other.device, "comm.tx", other.start)
+
+    events.extend(_counter_events(ledger))
+    events.sort(key=lambda e: (e.get("ts", -1.0), e["ph"], e["pid"],
+                               e.get("tid", -1), e["name"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_trace(path: str | Path, ledger: Ledger,
+               spec: ClusterSpec | None = None) -> Path:
+    """Write the Perfetto-loadable JSON trace; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(build_trace(ledger, spec), indent=1))
+    return out
+
+
+def validate_trace(doc: object) -> list[str]:
+    """Structural validation of a trace document; [] means valid.
+
+    Checks the document shape, per-phase required fields, timestamp
+    sanity, and that every flow id pairs exactly one start with one
+    finish.  This is what the CI smoke (and the schema tests) run over
+    freshly exported traces.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document must be an object with a 'traceEvents' array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    flows: dict[object, list[str]] = defaultdict(list)
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            problems.append(f"event {i} has unknown phase {ph!r}")
+            continue
+        for field in ("name", "pid"):
+            if field not in ev:
+                problems.append(f"event {i} ({ph}) missing {field!r}")
+        if ph == "X":
+            for field in ("tid", "ts", "dur"):
+                if not isinstance(ev.get(field), (int, float)):
+                    problems.append(f"event {i} (X) needs numeric {field!r}")
+            if isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+                problems.append(f"event {i} (X) has negative duration")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"event {i} (C) needs numeric args")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                problems.append(f"event {i} ({ph}) missing flow id")
+            else:
+                flows[ev["id"]].append(ph)
+        elif ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"event {i} (M) missing args")
+    for fid, phases in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            problems.append(
+                f"flow {fid} has {phases.count('s')} start(s) and "
+                f"{phases.count('f')} finish(es); expected one of each"
+            )
+    return problems

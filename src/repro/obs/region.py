@@ -1,0 +1,34 @@
+"""The hierarchical region API.
+
+Pipelines annotate their phases so every ledger record carries a region
+path and metrics roll up by pipeline stage instead of raw kernel name::
+
+    from repro import obs
+
+    with obs.region(cl, "fmmfft/fmm"):
+        cl.launch(...)            # record.region == "fmmfft/fmm"
+
+:func:`region` is sugar over :meth:`VirtualCluster.region
+<repro.machine.cluster.VirtualCluster.region>`: a ``"/"``-separated
+path opens one nested scope per segment, and scopes compose across call
+boundaries — a pipeline that annotates itself with ``"fft2d"`` reports
+as ``"fmmfft/fft2d"`` when invoked inside the FMM-FFT's ``"fmmfft"``
+scope.  Regions are pure telemetry: they never change timing, events,
+or hazard analysis.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+from typing import Iterator
+
+from repro.machine.cluster import VirtualCluster
+
+
+@contextmanager
+def region(cluster: VirtualCluster, path: str) -> Iterator[VirtualCluster]:
+    """Scope ops on ``cluster`` under a (possibly nested) region path."""
+    with ExitStack() as stack:
+        for segment in path.split("/"):
+            stack.enter_context(cluster.region(segment))
+        yield cluster

@@ -91,3 +91,65 @@ class TestCommands:
         assert main(["trace", "--n", "2^16", "--out", str(out_file)]) == 0
         doc = json.loads(out_file.read_text())
         assert doc["traceEvents"]
+
+    def test_trace_rich_export(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        out_file = tmp_path / "t.json"
+        assert main(["trace", "--n", "2^16", "--rich",
+                     "--out", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert validate_trace(doc) == []
+
+    def test_metrics_fmmfft(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        j = tmp_path / "m.json"
+        t = tmp_path / "t.json"
+        assert main(["metrics", "--pipeline", "fmmfft", "--n", "2^18",
+                     "--json", str(j), "--trace-out", str(t)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "hidden frac" in out
+        assert "Sec. 5" in out  # the model join table
+        payload = json.loads(j.read_text())
+        assert payload["critical_path_length"] == pytest.approx(
+            payload["wall_time"], abs=1e-9
+        )
+        assert 0.0 < payload["overlap_fraction"] <= 1.0
+        assert validate_trace(json.loads(t.read_text())) == []
+
+    def test_metrics_baseline_pipeline(self, capsys):
+        assert main(["metrics", "--pipeline", "fft1d", "--n", "2^16"]) == 0
+        out = capsys.readouterr().out
+        assert "fft1d/" in out  # regioned rollup
+
+    def test_profile_devices_filter(self, capsys):
+        assert main(["profile", "--n", "2^18", "--devices", "0",
+                     "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "dev0:" in out and "dev1:" not in out
+
+    def test_profile_trace_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        t = tmp_path / "t.json"
+        assert main(["profile", "--n", "2^18", "--width", "60",
+                     "--trace-out", str(t)]) == 0
+        assert validate_trace(json.loads(t.read_text())) == []
+
+    def test_transform_trace_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        t = tmp_path / "t.json"
+        rc = main(["transform", "--n", "2^12", "--tolerance", "1e-9",
+                   "--trace-out", str(t)])
+        assert rc == 0
+        assert validate_trace(json.loads(t.read_text())) == []

@@ -140,3 +140,67 @@ class TestLedgerHardening:
         b.append(rec(name="x"))
         a.merge(b)
         assert a.by_uid(1).name == "x"
+
+    def test_merge_preserves_wait_event_references(self):
+        """After the uid shift, every wait still names its original producer."""
+        a, b = Ledger(), Ledger()
+        a.append(rec(name="a0"))
+        a.append(rec(name="a1", start=1.0, waits=(0,)))
+        up = b.append(rec(name="producer", device=1, writes=((1, "buf"),)))
+        b.append(rec(name="consumer", device=1, start=1.0,
+                     waits=(up,), reads=((1, "buf"),)))
+        a.merge(b)
+        consumer = next(r for r in a if r.name == "consumer")
+        assert [a.by_uid(w).name for w in consumer.waits] == ["producer"]
+
+    def test_merge_keeps_hazard_analysis_identical(self):
+        """Merging disjoint-device runs is invisible to the sanitizer.
+
+        Regression for the uid shift: a stale (unshifted) wait would
+        either dangle (a defect) or drop the ordering edge and turn the
+        overlapped buffer reuse below into a reported RAW hazard.
+        """
+        from repro.analysis.hazards import find_hazards, happens_before
+
+        def run_on(device):
+            l = Ledger()
+            u = l.append(rec(name="w", device=device, start=0.0,
+                             duration=1.0, writes=((device, "buf"),)))
+            l.append(rec(name="r", device=device, stream="comm", kind="comm",
+                         start=1.0, duration=1.0, waits=(u,),
+                         comm_bytes=8.0, reads=((device, "buf"),)))
+            return l
+
+        a, b = run_on(0), run_on(1)
+        pre_a, pre_b = find_hazards(a), find_hazards(b)
+        assert pre_a.ok and pre_b.ok
+        n_edges = len(happens_before(a)) + len(happens_before(b))
+
+        a.merge(b)
+        post = find_hazards(a)
+        assert post.ok, post.render()
+        assert post.num_ops == pre_a.num_ops + pre_b.num_ops
+        # devices are disjoint, so the merged graph is exactly the union
+        assert len(happens_before(a)) == n_edges
+
+    def test_merge_without_shift_would_be_caught(self):
+        """The same schedule with a forged stale wait is NOT race-free —
+        i.e. the previous test's pass depends on the shift being right."""
+        from repro.analysis.hazards import find_hazards
+
+        l = Ledger()
+        l.append(rec(name="w", device=1, start=0.0, duration=1.0,
+                     writes=((1, "buf"),)))
+        # overlapped read with a wait pointing at a nonexistent uid —
+        # what a broken merge would produce
+        l.append(rec(name="r", device=1, stream="comm", kind="comm",
+                     start=0.5, duration=1.0, waits=(99,),
+                     comm_bytes=8.0, reads=((1, "buf"),)))
+        rep = find_hazards(l)
+        assert not rep.ok
+
+    def test_merge_carries_region(self):
+        a, b = Ledger(), Ledger()
+        b.append(rec(region="fmm/S2M"))
+        a.merge(b)
+        assert list(a)[0].region == "fmm/S2M"

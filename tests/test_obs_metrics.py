@@ -1,0 +1,211 @@
+"""Tests for the metrics engine: rollups, overlap, critical path, model join."""
+
+import pytest
+
+from repro.machine.cluster import VirtualCluster
+from repro.machine.ledger import Ledger, OpRecord
+from repro.machine.spec import preset
+from repro.obs.metrics import (
+    compute_metrics,
+    critical_path,
+    join_fmm_model,
+    overlap_stats,
+    overlap_summary,
+    rollup,
+)
+
+
+def rec(**kw):
+    base = dict(
+        device=0, stream="compute", kind="gemm", name="op",
+        start=0.0, duration=1.0,
+    )
+    base.update(kw)
+    return OpRecord(**base)
+
+
+class TestRollup:
+    def test_by_region_groups_and_sorts(self):
+        l = Ledger()
+        l.append(rec(region="a/x", duration=1.0, flops=2e9))
+        l.append(rec(region="a/x", duration=1.0, flops=2e9))
+        l.append(rec(region="a/y", duration=0.5))
+        l.append(rec(duration=0.25))
+        stats = rollup(l, by="region")
+        assert [s.key for s in stats] == ["a/x", "a/y", "(unregioned)"]
+        assert stats[0].ops == 2
+        assert stats[0].time == pytest.approx(2.0)
+        assert stats[0].gflops == pytest.approx(2.0)
+
+    def test_depth_truncates_paths(self):
+        l = Ledger()
+        l.append(rec(region="a/x"))
+        l.append(rec(region="a/y"))
+        stats = rollup(l, by="region", depth=1)
+        assert len(stats) == 1 and stats[0].key == "a"
+        assert stats[0].time == pytest.approx(2.0)
+
+    def test_by_name_and_device_filter(self):
+        l = Ledger()
+        l.append(rec(name="a", device=0))
+        l.append(rec(name="a", device=1))
+        stats = rollup(l, by="name", device=1)
+        assert len(stats) == 1 and stats[0].ops == 1
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(ValueError):
+            rollup(Ledger(), by="color")
+
+
+class TestOverlap:
+    def _half_hidden(self):
+        """Comm [0,2) with compute [1,3): 50% hidden by construction."""
+        l = Ledger()
+        l.append(rec(stream="comm", kind="comm", name="c",
+                     start=0.0, duration=2.0, comm_bytes=8.0, peer=1))
+        l.append(rec(kind="fft", name="k", start=1.0, duration=2.0, flops=1.0))
+        return l
+
+    def test_known_50_percent_overlap(self):
+        s = overlap_stats(self._half_hidden(), 0)
+        assert s.comm_busy == pytest.approx(2.0)
+        assert s.compute_busy == pytest.approx(2.0)
+        assert s.overlap == pytest.approx(1.0)
+        assert s.exposed == pytest.approx(1.0)
+        assert s.overlap_fraction == pytest.approx(0.5)
+
+    def test_receiver_side_counts_comm_but_not_compute(self):
+        s = overlap_stats(self._half_hidden(), 1)
+        assert s.comm_busy == pytest.approx(2.0)  # peer of the sendrecv
+        assert s.compute_busy == 0.0
+        assert s.overlap == 0.0 and s.overlap_fraction == 0.0
+
+    def test_union_not_sum(self):
+        l = Ledger()
+        # two overlapping comm intervals must union, not double-count
+        l.append(rec(stream="comm", kind="comm", name="c1",
+                     start=0.0, duration=2.0, comm_bytes=1.0, peer=1))
+        l.append(rec(stream="comm", kind="comm", name="c2",
+                     start=1.0, duration=2.0, comm_bytes=1.0, peer=1))
+        assert overlap_stats(l, 0).comm_busy == pytest.approx(3.0)
+
+    def test_summary_has_aggregate_row(self):
+        out = overlap_summary(self._half_hidden(), 2)
+        assert [s.device for s in out] == [0, 1, -1]
+        assert out[-1].comm_busy == pytest.approx(4.0)
+        assert out[-1].overlap == pytest.approx(1.0)
+
+
+class TestCriticalPath:
+    def test_empty_ledger(self):
+        p = critical_path(Ledger())
+        assert p.ops == [] and p.length == 0.0
+
+    def test_follows_wait_edges(self):
+        l = Ledger()
+        u0 = l.append(rec(name="a", device=0, start=0.0, duration=1.0))
+        l.append(rec(name="b", device=1, start=0.0, duration=0.5))
+        l.append(rec(name="c", device=1, start=1.0, duration=2.0, waits=(u0,)))
+        p = critical_path(l)
+        assert [r.name for r in p.ops] == ["a", "c"]
+        assert p.length == pytest.approx(3.0)
+        # terminal op is critical; the short op b has slack
+        assert p.slack[2] == 0.0
+        assert p.slack[1] > 0.0
+
+    def test_idle_gap_accounting(self):
+        l = Ledger()
+        l.append(rec(name="a", start=0.0, duration=1.0))
+        l.append(rec(name="b", start=2.0, duration=1.0))  # 1s gap (barrier)
+        p = critical_path(l)
+        assert p.idle == pytest.approx(1.0)
+        assert p.length == pytest.approx(3.0)
+
+    @pytest.mark.parametrize("pipeline", ["fft1d", "fmmfft"])
+    def test_length_equals_wall_time(self, pipeline):
+        spec = preset("2xP100")
+        cl = VirtualCluster(spec, execute=False)
+        if pipeline == "fft1d":
+            from repro.dfft.fft1d import Distributed1DFFT
+
+            Distributed1DFFT(1 << 18, cl).run()
+        else:
+            from repro.core.distributed import FmmFftDistributed
+            from repro.core.plan import FmmFftPlan
+            from repro.model.search import find_fastest
+
+            r = find_fastest(1 << 18, spec)
+            plan = FmmFftPlan.create(N=1 << 18, G=2, build_operators=False,
+                                     **r.params)
+            FmmFftDistributed(plan, cl).run()
+        p = critical_path(cl.ledger)
+        assert p.length == pytest.approx(cl.wall_time(), abs=1e-9)
+        # every slack is non-negative and the chain's ops are all critical
+        assert all(s >= 0.0 for s in p.slack.values())
+        assert p.slack[p.ops[-1].uid] == 0.0
+
+
+class TestModelJoin:
+    def test_fmm_stages_join_by_name(self):
+        from repro.core.distributed import FmmFftDistributed
+        from repro.core.plan import FmmFftPlan
+        from repro.model.search import find_fastest
+
+        spec = preset("2xP100")
+        r = find_fastest(1 << 18, spec)
+        plan = FmmFftPlan.create(N=1 << 18, G=2, build_operators=False,
+                                 **r.params)
+        cl = VirtualCluster(spec, execute=False)
+        FmmFftDistributed(plan, cl).run()
+        joins = join_fmm_model(cl.ledger, plan.geometry, spec)
+        names = {j.stage for j in joins}
+        assert "S2M" in names and "S2T" in names and "L2T" in names
+        for j in joins:
+            # model is an idealized lower bound: efficiency in (0, 1+eps]
+            assert 0.0 < j.efficiency <= 1.0 + 1e-9, j
+
+
+class TestMetricsReport:
+    def test_full_report_on_2xP100(self):
+        from repro.core.distributed import FmmFftDistributed
+        from repro.core.plan import FmmFftPlan
+        from repro.model.search import find_fastest
+
+        spec = preset("2xP100")
+        r = find_fastest(1 << 18, spec)
+        plan = FmmFftPlan.create(N=1 << 18, G=2, build_operators=False,
+                                 **r.params)
+        cl = VirtualCluster(spec, execute=False)
+        FmmFftDistributed(plan, cl).run()
+        rep = compute_metrics(cl.ledger, spec, geom=plan.geometry)
+
+        assert rep.path.length == pytest.approx(rep.wall_time, abs=1e-9)
+        assert 0.0 < rep.overlap_fraction <= 1.0
+        assert rep.exposed_comm >= 0.0
+        assert rep.model  # the Section-5 join is populated
+        # regioned rollup covers the whole run (no unregioned ops)
+        assert all(s.key != "(unregioned)" for s in rep.stages)
+        assert sum(s.time for s in rep.stages) == pytest.approx(
+            sum(s.time for s in rep.names)
+        )
+
+        text = rep.render()
+        assert "critical path" in text and "Sec. 5" in text
+
+        payload = rep.to_json()
+        for key in ("wall_time", "exposed_comm", "overlap_fraction",
+                    "critical_path_length", "stages", "model_join", "overlap"):
+            assert key in payload
+        assert payload["critical_path_length"] == pytest.approx(
+            payload["wall_time"], abs=1e-9
+        )
+
+    def test_report_without_geometry_skips_model(self):
+        from repro.dfft.fft1d import Distributed1DFFT
+
+        spec = preset("2xP100")
+        cl = VirtualCluster(spec, execute=False)
+        Distributed1DFFT(1 << 16, cl).run()
+        rep = compute_metrics(cl.ledger, spec)
+        assert rep.model == []
+        assert rep.path.length == pytest.approx(rep.wall_time, abs=1e-9)

@@ -1,0 +1,154 @@
+"""Tests for the Perfetto/Chrome trace exporter, incl. the golden file."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.machine.cluster import VirtualCluster
+from repro.machine.ledger import Ledger, OpRecord
+from repro.machine.spec import preset
+from repro.obs.perfetto import build_trace, save_trace, validate_trace
+
+GOLDEN = Path(__file__).parent / "golden" / "tiny_trace.json"
+
+
+def tiny_ledger() -> Ledger:
+    """A hand-built four-op run exercising every exporter feature:
+    compute op, p2p comm (mirror + flow), wait edge, and a collective."""
+    led = Ledger()
+    led.append(OpRecord(device=0, stream="compute", kind="gemm", name="S2M",
+                        start=0.0, duration=1e-3, flops=2e6, mops=1e5,
+                        region="fmm/S2M", writes=("M",)))
+    u1 = led.append(OpRecord(device=0, stream="comm", kind="comm",
+                             name="COMM-S", start=0.5e-3, duration=1e-3,
+                             comm_bytes=4096.0, peer=1, region="fmm/halo-S",
+                             reads=("S",), writes=("halo",)))
+    led.append(OpRecord(device=1, stream="compute", kind="custom", name="S2T",
+                        start=1.5e-3, duration=0.5e-3, flops=1e6, mops=2e5,
+                        waits=(u1,), region="fmm/S2T",
+                        reads=("S", "halo"), writes=("T",)))
+    for g in (0, 1):
+        led.append(OpRecord(device=g, stream="comm", kind="comm",
+                            name="COMM-MB", start=2.0e-3, duration=0.5e-3,
+                            comm_bytes=1024.0, peer=-1, region="fmm/base",
+                            reads=("MB",), writes=("MBg",)))
+    return led
+
+
+class TestGolden:
+    def test_matches_checked_in_golden(self):
+        """The exporter's full output for the tiny ledger is pinned.
+
+        Regenerate deliberately after an intentional format change::
+
+            PYTHONPATH=src python -c "
+            import json, tests.test_obs_perfetto as t
+            t.GOLDEN.write_text(json.dumps(
+                t.build_trace(t.tiny_ledger()), indent=1))"
+        """
+        assert GOLDEN.exists(), "golden file missing"
+        expected = json.loads(GOLDEN.read_text())
+        assert build_trace(tiny_ledger()) == expected
+
+    def test_golden_is_valid(self):
+        assert validate_trace(json.loads(GOLDEN.read_text())) == []
+
+
+class TestBuildTrace:
+    def test_document_shape(self):
+        doc = build_trace(tiny_ledger())
+        assert doc["displayTimeUnit"] == "ms"
+        assert validate_trace(doc) == []
+
+    def test_sendrecv_mirrored_on_receiver(self):
+        doc = build_trace(tiny_ledger())
+        xs = [e for e in doc["traceEvents"]
+              if e["ph"] == "X" and e["name"] == "COMM-S"]
+        assert len(xs) == 2
+        pids = {e["pid"] for e in xs}
+        assert pids == {0, 1}
+        rx = next(e for e in xs if e["pid"] == 1)
+        assert rx["args"]["rx_of"] == 0
+
+    def test_wait_and_sendrecv_flows(self):
+        doc = build_trace(tiny_ledger())
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "f")]
+        names = {e["name"] for e in flows}
+        assert {"wait", "sendrecv", "collective"} <= names
+        # each flow id appears exactly twice (one s, one f)
+        by_id = {}
+        for e in flows:
+            by_id.setdefault(e["id"], []).append(e["ph"])
+        assert all(sorted(v) == ["f", "s"] for v in by_id.values())
+
+    def test_track_metadata_names_engines(self):
+        doc = build_trace(tiny_ledger(), preset("2xP100"))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        proc = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert any("P100" in p for p in proc)
+        threads = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert {"compute", "comm.tx", "comm.rx"} <= threads
+
+    def test_counter_tracks_step_back_to_zero(self):
+        doc = build_trace(tiny_ledger())
+        for name in ("GFLOP/s", "mem GB/s", "in-flight comm bytes"):
+            samples = [e for e in doc["traceEvents"]
+                       if e["ph"] == "C" and e["name"] == name]
+            assert samples, name
+            assert samples[-1]["args"]["value"] == 0.0
+            assert any(e["args"]["value"] > 0 for e in samples)
+
+    def test_region_in_args(self):
+        doc = build_trace(tiny_ledger())
+        s2m = next(e for e in doc["traceEvents"]
+                   if e["ph"] == "X" and e["name"] == "S2M")
+        assert s2m["args"]["region"] == "fmm/S2M"
+
+    def test_real_run_exports_valid(self, tmp_path):
+        from repro.dfft.fft1d import Distributed1DFFT
+
+        spec = preset("2xP100")
+        cl = VirtualCluster(spec, execute=False)
+        Distributed1DFFT(1 << 18, cl).run()
+        out = save_trace(tmp_path / "t.json", cl.ledger, spec)
+        doc = json.loads(out.read_text())
+        assert validate_trace(doc) == []
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # one X per op plus one mirror per p2p transfer
+        p2p = sum(1 for r in cl.ledger if r.kind == "comm" and r.peer >= 0)
+        assert len(xs) == len(cl.ledger) + p2p
+
+
+class TestValidateTrace:
+    def test_rejects_non_document(self):
+        assert validate_trace([1, 2]) != []
+        assert validate_trace({"events": []}) != []
+
+    def test_flags_negative_duration(self):
+        doc = build_trace(tiny_ledger())
+        doc["traceEvents"].append({
+            "name": "bad", "cat": "x", "ph": "X", "pid": 0, "tid": 0,
+            "ts": 0.0, "dur": -1.0, "args": {},
+        })
+        assert any("negative" in p for p in validate_trace(doc))
+
+    def test_flags_unpaired_flow(self):
+        doc = build_trace(tiny_ledger())
+        doc["traceEvents"].append({
+            "name": "dangling", "cat": "dep", "ph": "s", "id": 999999,
+            "pid": 0, "tid": 0, "ts": 0.0,
+        })
+        assert any("flow 999999" in p for p in validate_trace(doc))
+
+    def test_flags_unknown_phase(self):
+        assert any(
+            "phase" in p
+            for p in validate_trace({"traceEvents": [{"name": "x", "ph": "Z",
+                                                      "pid": 0}]})
+        )
+
+    def test_flags_non_numeric_counter(self):
+        doc = {"traceEvents": [{"name": "c", "ph": "C", "pid": 0,
+                                "ts": 0.0, "args": {"value": "fast"}}]}
+        assert any("numeric" in p for p in validate_trace(doc))

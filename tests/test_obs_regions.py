@@ -1,0 +1,129 @@
+"""Tests for the hierarchical region API and its pipeline threading."""
+
+import pytest
+
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import preset
+from repro.obs import region as obs_region
+from repro.util.validation import ParameterError
+
+
+def _cluster():
+    return VirtualCluster(preset("2xP100"), execute=False)
+
+
+class TestRegionScopes:
+    def test_nested_scopes_build_path(self):
+        cl = _cluster()
+        assert cl.region_path == ""
+        with cl.region("a"):
+            assert cl.region_path == "a"
+            with cl.region("b"):
+                assert cl.region_path == "a/b"
+            assert cl.region_path == "a"
+        assert cl.region_path == ""
+
+    def test_scope_restored_on_exception(self):
+        cl = _cluster()
+        with pytest.raises(RuntimeError):
+            with cl.region("a"):
+                raise RuntimeError("boom")
+        assert cl.region_path == ""
+
+    def test_rejects_bad_names(self):
+        cl = _cluster()
+        with pytest.raises(ParameterError):
+            with cl.region(""):
+                pass
+        with pytest.raises(ParameterError):
+            with cl.region("a/b"):
+                pass
+
+    def test_obs_region_helper_expands_paths(self):
+        cl = _cluster()
+        with obs_region(cl, "a/b/c"):
+            assert cl.region_path == "a/b/c"
+        assert cl.region_path == ""
+
+    def test_launch_stamps_current_path(self):
+        cl = _cluster()
+        with cl.region("stage"):
+            cl.launch(0, "k", "custom", 1.0, 1.0, "complex128",
+                      reads=["x"], writes=["x"])
+        cl.launch(0, "k2", "custom", 1.0, 1.0, "complex128",
+                  reads=["x"], writes=["x"])
+        recs = list(cl.ledger)
+        assert recs[0].region == "stage"
+        assert recs[1].region == ""
+
+    def test_comm_and_host_ops_stamped(self):
+        cl = _cluster()
+        with cl.region("halo"):
+            cl.sendrecv(0, 1, 64.0, "c", reads=["a"], writes=["b"])
+            cl.host_op(0, "h", lambda c: None, reads=["b"], writes=["b"])
+        assert all(r.region == "halo" for r in cl.ledger)
+
+
+class TestPipelineThreading:
+    def test_fft1d_fully_regioned(self):
+        from repro.dfft.fft1d import Distributed1DFFT
+
+        cl = _cluster()
+        Distributed1DFFT(1 << 16, cl).run()
+        regions = {r.region for r in cl.ledger}
+        assert all(p.startswith("fft1d/") for p in regions), regions
+        assert {"fft1d/transpose1", "fft1d/fftM", "fft1d/transpose2",
+                "fft1d/fftP", "fft1d/transpose3"} <= regions
+
+    def test_rfft_nests_inner_fft(self):
+        from repro.dfft.realfft import DistributedRealFFT
+
+        cl = _cluster()
+        DistributedRealFFT(1 << 16, cl).run()
+        regions = {r.region for r in cl.ledger}
+        assert "rfft/pack" in regions
+        assert any(p.startswith("rfft/fft1d/") for p in regions)
+        assert "rfft/mirror" in regions and "rfft/untangle" in regions
+
+    def test_fmmfft_fully_regioned(self):
+        from repro.core.distributed import FmmFftDistributed
+        from repro.core.plan import FmmFftPlan
+        from repro.model.search import find_fastest
+
+        spec = preset("2xP100")
+        r = find_fastest(1 << 18, spec)
+        plan = FmmFftPlan.create(N=1 << 18, G=2, build_operators=False,
+                                 **r.params)
+        cl = VirtualCluster(spec, execute=False)
+        FmmFftDistributed(plan, cl).run()
+        regions = {r.region for r in cl.ledger}
+        assert all(p.startswith("fmmfft/") for p in regions), regions
+        assert any(p.startswith("fmmfft/fmm/") for p in regions)
+        assert any(p.startswith("fmmfft/fft2d/") for p in regions)
+
+    def test_time_by_region_sums_to_total(self):
+        from repro.dfft.fft1d import Distributed1DFFT
+
+        cl = _cluster()
+        Distributed1DFFT(1 << 16, cl).run()
+        per_region = cl.ledger.time_by_region()
+        total = sum(r.duration for r in cl.ledger)
+        assert sum(per_region.values()) == pytest.approx(total)
+        per_dev = cl.ledger.time_by_region(device=0)
+        assert sum(per_dev.values()) == pytest.approx(
+            sum(r.duration for r in cl.ledger.records(device=0))
+        )
+
+    def test_regions_do_not_change_timing(self):
+        """The region stack is pure annotation: identical schedules."""
+        from repro.dfft.fft1d import Distributed1DFFT
+
+        cl1 = _cluster()
+        Distributed1DFFT(1 << 16, cl1).run()
+        cl2 = _cluster()
+        with cl2.region("outer"):
+            Distributed1DFFT(1 << 16, cl2).run()
+        assert cl1.wall_time() == cl2.wall_time()
+        assert [r.region for r in cl2.ledger] == [
+            f"outer/{r.region}" for r in cl1.ledger
+        ]

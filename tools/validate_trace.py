@@ -1,0 +1,42 @@
+"""Validate a Chrome/Perfetto trace-event JSON file.
+
+Usage: ``python tools/validate_trace.py trace.json [more.json ...]``
+
+Loads each file and runs :func:`repro.obs.perfetto.validate_trace` over
+it: document shape, per-phase required fields, non-negative durations,
+numeric counters, and flow-event id pairing.  Exit code 1 on any
+finding — CI runs this over the traces it exports.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.perfetto import validate_trace  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    status = 0
+    for arg in argv:
+        doc = json.loads(Path(arg).read_text())
+        errors = validate_trace(doc)
+        n = len(doc["traceEvents"]) if isinstance(doc, dict) else len(doc)
+        if errors:
+            status = 1
+            print(f"{arg}: {len(errors)} problem(s) in {n} events")
+            for e in errors[:20]:
+                print(f"  - {e}")
+        else:
+            print(f"{arg}: OK ({n} events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
