@@ -1,6 +1,6 @@
 """Repo-specific AST lint: the numeric discipline the kernels rely on.
 
-Six rules, each targeting a failure mode this codebase has actually to
+Seven rules, each targeting a failure mode this codebase has actually to
 guard against (run with ``python tools/lint.py src``):
 
 ``future-annotations``
@@ -30,6 +30,13 @@ guard against (run with ``python tools/lint.py src``):
     call site passes ``reads=`` and ``writes=`` so the hazard sanitizer
     can certify the schedule (and the call site documents its
     data-flow).
+``raw-comm``
+    Pipelines (``core/``, ``dfft/``, ``fmm/``) must issue collectives
+    through :mod:`repro.comm` (receiver spelled ``comm``), never the raw
+    :class:`~repro.machine.cluster.VirtualCluster` methods — raw calls
+    bypass the algorithm knob, topology routing, and the comm_log
+    measured-vs-model join.  ``._collective`` is internal to the machine
+    and comm layers and is flagged everywhere else.
 
 Any rule can be waived on one line with ``# lint: allow-<rule>``.
 """
@@ -50,6 +57,15 @@ NP_FFT_ALLOWED = "repro/fftcore/"
 
 #: VirtualCluster methods that must declare their buffer access sets
 COMM_METHODS = ("launch", "sendrecv", "alltoall", "allgather")
+
+#: pipeline packages that must route collectives through repro.comm
+PIPELINE_PATHS = ("repro/core/", "repro/dfft/", "repro/fmm/")
+
+#: the only packages allowed to touch the raw collective machinery
+RAW_COMM_ALLOWED = ("repro/machine/", "repro/comm/")
+
+#: cluster comm entry points covered by the raw-comm rule
+RAW_COMM_METHODS = ("sendrecv", "alltoall", "allgather")
 
 _PRAGMA = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)")
 
@@ -94,7 +110,10 @@ class _Checker(ast.NodeVisitor):
         self.pragmas = pragmas
         self.issues: list[LintIssue] = []
         self.kernel = _in_kernel_path(path)
-        self.np_fft_ok = NP_FFT_ALLOWED in path.replace("\\", "/")
+        p = path.replace("\\", "/")
+        self.np_fft_ok = NP_FFT_ALLOWED in p
+        self.pipeline = any(frag in p for frag in PIPELINE_PATHS)
+        self.raw_comm_ok = any(frag in p for frag in RAW_COMM_ALLOWED)
         self._stmt: ast.stmt | None = None
 
     # -- plumbing ------------------------------------------------------
@@ -200,6 +219,26 @@ class _Checker(ast.NodeVisitor):
                         "declaration(s) -- the hazard sanitizer needs every "
                         "op's buffer access sets",
                     )
+            # pipelines must route collectives through repro.comm
+            via_comm = isinstance(func.value, ast.Name) and func.value.id == "comm"
+            if func.attr == "_collective" and not self.raw_comm_ok:
+                self._report(
+                    node, "raw-comm",
+                    "._collective() is internal to repro.machine/repro.comm "
+                    "-- use the repro.comm collectives",
+                )
+            elif (
+                self.pipeline
+                and not self.raw_comm_ok
+                and func.attr in RAW_COMM_METHODS
+                and not via_comm
+            ):
+                self._report(
+                    node, "raw-comm",
+                    f"raw .{func.attr}() in a pipeline -- issue it through "
+                    "repro.comm so the algorithm knob, topology routing, and "
+                    "comm_log join apply",
+                )
         self.generic_visit(node)
 
 

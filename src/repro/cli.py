@@ -18,6 +18,10 @@ Commands
 ``metrics``
     Observability report for a simulated run: per-region rollups, the
     measured-vs-model join, comm/compute overlap and the critical path.
+``comm``
+    Collective-algorithm cost table for one testbed: per-size predicted
+    times for every :mod:`repro.comm` plan, the model-chosen winner,
+    and its speedup over the legacy bulk collective.
 ``model``
     Section 5 model breakdown (per-stage roofline) for a configuration.
 ``energy``
@@ -48,7 +52,7 @@ from repro.machine.spec import preset, _PRESETS
 from repro.model.error import choose_q
 from repro.model.search import find_fastest
 from repro.util.prng import random_signal
-from repro.util.table import Table, format_time
+from repro.util.table import Table, format_bytes, format_time
 
 
 def _parse_size(s: str) -> int:
@@ -138,10 +142,11 @@ def cmd_speedup(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_pipeline(pipeline: str, N: int, spec, dtype: str):
+def _run_pipeline(pipeline: str, N: int, spec, dtype: str, comm: str = "bulk"):
     """Run one pipeline timing-only; returns (cluster, geometry, params).
 
-    geometry/params are None for the non-FMM pipelines.  Shared by
+    geometry/params are None for the non-FMM pipelines.  ``comm`` picks
+    the collective algorithm (see :mod:`repro.comm`).  Shared by
     ``analyze`` and ``metrics`` so both profile identical schedules.
     """
     cl = VirtualCluster(spec, execute=False)
@@ -150,21 +155,21 @@ def _run_pipeline(pipeline: str, N: int, spec, dtype: str):
         r = find_fastest(N, spec, dtype=dtype)
         plan = FmmFftPlan.create(N=N, G=spec.num_devices, dtype=dtype,
                                  build_operators=False, **r.params)
-        FmmFftDistributed(plan, cl).run()
+        FmmFftDistributed(plan, cl, comm_algorithm=comm).run()
         geom, params = plan.geometry, r.params
     elif pipeline == "fft1d":
-        Distributed1DFFT(N, cl, dtype=dtype).run()
+        Distributed1DFFT(N, cl, dtype=dtype, comm_algorithm=comm).run()
     elif pipeline == "fft2d":
         from repro.dfft.fft2d import Distributed2DFFT
         from repro.util.bitmath import ilog2
 
         M = 1 << ((ilog2(N) + 1) // 2)
-        Distributed2DFFT(M, N // M, cl, dtype=dtype).run()
+        Distributed2DFFT(M, N // M, cl, dtype=dtype, comm_algorithm=comm).run()
     else:  # rfft
         from repro.dfft.realfft import DistributedRealFFT
 
         rdt = "float32" if dtype == "complex64" else "float64"
-        DistributedRealFFT(N, cl, dtype=rdt).run()
+        DistributedRealFFT(N, cl, dtype=rdt, comm_algorithm=comm).run()
     return cl, geom, params
 
 
@@ -197,7 +202,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         spec = multinode_p100(args.nodes, gpus_per_node=args.gpus_per_node)
     else:
         spec = preset(args.system)
-    cl, _, params = _run_pipeline(args.pipeline, N, spec, args.dtype)
+    cl, _, params = _run_pipeline(args.pipeline, N, spec, args.dtype,
+                                  comm=args.comm)
     if params is not None:
         print(f"params: {params}")
 
@@ -216,8 +222,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
     N = _parse_size(args.n)
     spec = preset(args.system)
-    cl, geom, params = _run_pipeline(args.pipeline, N, spec, args.dtype)
-    rep = compute_metrics(cl.ledger, spec, geom=geom, dtype=args.dtype)
+    cl, geom, params = _run_pipeline(args.pipeline, N, spec, args.dtype,
+                                     comm=args.comm)
+    rep = compute_metrics(cl.ledger, spec, geom=geom, dtype=args.dtype,
+                          comm_log=cl.comm_log)
     if params is not None:
         print(f"params: {params}")
     print(rep.render())
@@ -230,6 +238,32 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     if args.trace_out:
         save_trace(args.trace_out, cl.ledger, spec)
         print(f"wrote {args.trace_out}")
+    return 0
+
+
+def cmd_comm(args: argparse.Namespace) -> int:
+    """Collective-algorithm cost table for one testbed."""
+    from repro.comm import algorithm_table
+
+    spec = preset(args.testbed)
+    rows = algorithm_table(spec)
+    algos = sorted({a for r in rows for a in r["predictions"]})
+    t = Table(["kind", "payload/dev", "bulk"] + algos + ["best", "vs bulk"],
+              title=f"Comm algorithm model, {spec.name} (G={spec.num_devices})")
+    for r in rows:
+        t.add_row(
+            [r["kind"], format_bytes(r["payload_bytes"]),
+             format_time(r["bulk"])]
+            + [format_time(r["predictions"][a]) for a in algos]
+            + [r["best"], f"{r['speedup_vs_bulk']:.2f}x"]
+        )
+    print(t.render())
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(rows, indent=1))
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -392,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--dtype", default="complex128",
                     choices=["complex64", "complex128"])
     an.add_argument("--width", type=int, default=100)
+    an.add_argument("--comm", default="bulk",
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    help="collective algorithm (see repro.comm)")
     an.add_argument("--sanitize", action="store_true",
                     help="strict mode: raise HazardError on any finding")
     an.set_defaults(fn=cmd_analyze)
@@ -403,11 +440,20 @@ def build_parser() -> argparse.ArgumentParser:
     me.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
     me.add_argument("--dtype", default="complex128",
                     choices=["complex64", "complex128"])
+    me.add_argument("--comm", default="bulk",
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    help="collective algorithm (see repro.comm)")
     me.add_argument("--json", default=None,
                     help="also write the report as JSON to this path")
     me.add_argument("--trace-out", default=None,
                     help="also export a Perfetto trace of the run")
     me.set_defaults(fn=cmd_metrics)
+
+    cm = sub.add_parser("comm", help="collective-algorithm cost table")
+    cm.add_argument("--testbed", default="8xP100", choices=sorted(_PRESETS))
+    cm.add_argument("--json", default=None,
+                    help="also write the table rows as JSON to this path")
+    cm.set_defaults(fn=cmd_comm)
 
     mo = sub.add_parser("model", help="Section 5 model breakdown")
     mo.add_argument("--n", default="2^24")

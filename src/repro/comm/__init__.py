@@ -1,0 +1,55 @@
+"""Collective communication subsystem: algorithm-pluggable message plans.
+
+The paper's contribution is communication *structure* — so the simulator
+models it structurally too.  This package decomposes every collective a
+pipeline issues into explicit per-round point-to-point message plans
+routed over the machine's actual interconnect topology:
+
+- :mod:`repro.comm.plans` — the plan builders (``direct``, ``ring``,
+  ``bruck``, ``hier``) plus the per-link contention and round-cost
+  model;
+- :mod:`repro.comm.api` — what pipelines call:
+  :func:`~repro.comm.api.alltoall`, :func:`~repro.comm.api.allgather`,
+  :func:`~repro.comm.api.halo_exchange`,
+  :func:`~repro.comm.api.sendrecv` — with ``algorithm="bulk"`` mapping
+  bit-for-bit onto the legacy flat collective model for back-compat and
+  ablation;
+- :mod:`repro.comm.tuning` — the model-driven selector
+  (``algorithm="auto"``) and the prediction table behind
+  ``repro comm``.
+
+See ``docs/COMM.md`` for the cost model and selector policy.
+"""
+
+from __future__ import annotations
+
+from repro.comm.api import (
+    ALGORITHMS,
+    allgather,
+    alltoall,
+    halo_exchange,
+    sendrecv,
+)
+from repro.comm.plans import CommPlan, Msg, build_plan, plan_time
+from repro.comm.tuning import (
+    algorithm_table,
+    candidate_algorithms,
+    choose_algorithm,
+    predict_time,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "CommPlan",
+    "Msg",
+    "algorithm_table",
+    "allgather",
+    "alltoall",
+    "build_plan",
+    "candidate_algorithms",
+    "choose_algorithm",
+    "halo_exchange",
+    "plan_time",
+    "predict_time",
+    "sendrecv",
+]

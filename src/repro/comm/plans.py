@@ -1,0 +1,396 @@
+"""Per-round message plans for the pluggable collectives.
+
+A *plan* decomposes one collective into explicit rounds of point-to-point
+messages, each routed over the actual :mod:`repro.machine.topology` link
+it would use (NVLink edge, PCIe fallback, or NIC) — so hybrid-cube-mesh,
+ring, and fully-connected topologies now cost differently per round, and
+the ledger/sanitizer/Perfetto see the true per-message structure.
+
+Algorithms (``ALGORITHMS``):
+
+``bulk``
+    The legacy flat model: one synchronized op per device at the
+    topology's effective all-to-all bandwidth (handled by
+    :mod:`repro.comm.api`, not here — kept for back-compat/ablation).
+``direct``
+    Pairwise exchange: G-1 permutation rounds, round k pairs ``g`` with
+    ``(g+k) % G``.  No forwarding, minimal wire bytes, one message
+    latency per peer.
+``ring``
+    Store-and-forward around the ring ``g -> g+1``: G-1 rounds, only
+    nearest-neighbour links, so every hop rides a direct edge on a ring
+    topology — but each round depends on the previous round's receive.
+``bruck``
+    Dissemination/Bruck: ``ceil(log2 G)`` rounds at distance ``2^k``,
+    fewer latencies but larger (forwarded) messages and non-neighbour
+    partners — which on sparse topologies fall back to the slow path.
+``hier``
+    Two-level leader-based plan for multi-node machines (``node_of``
+    annotation): funnel to the node leader, exchange between leaders
+    over the NICs, scatter locally.
+
+Every message carries read/write declares: reads on the source, writes
+on the destination, using ``#part`` sub-resources so concurrent messages
+of one collective never alias while whole-buffer consumers still
+conflict (and therefore order) against all of them.  Forwarding
+algorithms declare their staging buffers (``#via``/``#fwd``/``#nd``
+parts) honestly; the chained dependency structure (``CommPlan.chained``)
+is what makes the sanitizer prove them race-free.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.machine import topology as topo
+from repro.util.validation import ParameterError
+
+#: All algorithm names accepted by :func:`repro.comm.api.alltoall` /
+#: ``allgather`` ("auto" resolves to one of the others per call).
+ALGORITHMS = ("bulk", "direct", "ring", "bruck", "hier")
+
+#: Collective kinds a plan can be built for.
+KINDS = ("alltoall", "allgather")
+
+
+@dataclass(frozen=True)
+class Msg:
+    """One point-to-point message of a plan round.
+
+    ``reads`` are buffer names on the source device, ``writes`` buffer
+    names on the destination device (the cluster qualifies them).
+    """
+
+    src: int
+    dst: int
+    nbytes: float
+    reads: tuple = ()
+    writes: tuple = ()
+
+
+@dataclass(frozen=True)
+class CommPlan:
+    """A collective decomposed into rounds of messages.
+
+    ``chained`` means round ``k+1``'s send from a device must wait that
+    device's round-``k`` receive (store-and-forward data dependency);
+    non-chained plans only order rounds through per-stream program order.
+    """
+
+    algorithm: str
+    kind: str
+    rounds: tuple  # tuple[tuple[Msg, ...], ...]
+    chained: bool
+
+    @property
+    def num_messages(self) -> int:
+        return sum(len(r) for r in self.rounds)
+
+    def wire_bytes(self) -> float:
+        """Total bytes injected into the fabric (incl. forwarding)."""
+        return sum(m.nbytes for r in self.rounds for m in r)
+
+
+# ---------------------------------------------------------------------------
+# alltoall plans
+# ---------------------------------------------------------------------------
+
+def _alltoall_direct(G: int, payload: float, reads: tuple, writes: tuple,
+                     part: str) -> tuple[tuple, bool]:
+    s = payload / (G - 1)
+    rounds = []
+    for k in range(1, G):
+        rounds.append(tuple(
+            Msg(g, (g + k) % G, s, reads,
+                tuple(f"{w}{part}#s{g}" for w in writes))
+            for g in range(G)
+        ))
+    return tuple(rounds), False
+
+
+def _alltoall_ring(G: int, payload: float, reads: tuple, writes: tuple,
+                   part: str) -> tuple[tuple, bool]:
+    s = payload / (G - 1)
+    w0 = writes[0]
+    rounds = []
+    for k in range(G - 1):
+        msgs = []
+        for g in range(G):
+            d = (g + 1) % G
+            rd = reads if k == 0 else (f"{w0}{part}#via@{k - 1}",)
+            # the block arriving home at d this round originated k+1 hops back
+            wr = tuple(f"{w}{part}#s{(d - 1 - k) % G}" for w in writes)
+            if k < G - 2:  # the rest stages for further forwarding
+                wr = wr + (f"{w0}{part}#via@{k}",)
+            msgs.append(Msg(g, d, s * (G - 1 - k), rd, wr))
+        rounds.append(tuple(msgs))
+    return tuple(rounds), True
+
+
+def _alltoall_bruck(G: int, payload: float, reads: tuple, writes: tuple,
+                    part: str) -> tuple[tuple, bool]:
+    s = payload / (G - 1)
+    rounds = []
+    k, step = 0, 1
+    while step < G:
+        nblocks = sum(1 for d in range(1, G) if (d >> k) & 1)
+        msgs = []
+        for g in range(G):
+            dst = (g + step) % G
+            rd = reads + tuple(
+                f"{w}{part}#via{g}@{j}" for j in range(k) for w in writes
+            )
+            wr = tuple(f"{w}{part}#via{dst}@{k}" for w in writes)
+            msgs.append(Msg(g, dst, s * nblocks, rd, wr))
+        rounds.append(tuple(msgs))
+        k += 1
+        step <<= 1
+    return tuple(rounds), True
+
+
+# ---------------------------------------------------------------------------
+# allgather plans
+# ---------------------------------------------------------------------------
+
+def _allgather_direct(G: int, b: float, reads: tuple, writes: tuple,
+                      part: str) -> tuple[tuple, bool]:
+    rounds = []
+    for k in range(1, G):
+        rounds.append(tuple(
+            Msg(g, (g + k) % G, b, reads,
+                tuple(f"{w}{part}#b{g}" for w in writes))
+            for g in range(G)
+        ))
+    return tuple(rounds), False
+
+
+def _allgather_ring(G: int, b: float, reads: tuple, writes: tuple,
+                    part: str) -> tuple[tuple, bool]:
+    rounds = []
+    for k in range(G - 1):
+        msgs = []
+        for g in range(G):
+            j = (g - k) % G  # block forwarded by g this round
+            blk = tuple(f"{w}{part}#b{j}" for w in writes)
+            rd = reads if k == 0 else blk
+            msgs.append(Msg(g, (g + 1) % G, b, rd, blk))
+        rounds.append(tuple(msgs))
+    return tuple(rounds), True
+
+
+def _allgather_bruck(G: int, b: float, reads: tuple, writes: tuple,
+                     part: str) -> tuple[tuple, bool]:
+    rounds = []
+    c = 1
+    while c < G:
+        m = min(c, G - c)
+        msgs = []
+        for g in range(G):
+            dst = (g - c) % G  # holds {g-c..g-1}; needs {g..g+m-1}
+            blocks = [(g + t) % G for t in range(m)]
+            rd = reads + tuple(
+                f"{w}{part}#b{j}" for j in blocks[1:] for w in writes
+            )
+            wr = tuple(f"{w}{part}#b{j}" for j in blocks for w in writes)
+            msgs.append(Msg(g, dst, b * m, rd, wr))
+        rounds.append(tuple(msgs))
+        c += m
+    return tuple(rounds), True
+
+
+# ---------------------------------------------------------------------------
+# hierarchical (two-level) plans for multi-node machines
+# ---------------------------------------------------------------------------
+
+def _node_groups(graph) -> list[list[int]] | None:
+    """Device groups per node from the ``node_of`` annotation (or None)."""
+    node_of = graph.graph.get("node_of")
+    if not node_of:
+        return None
+    nodes: dict[int, list[int]] = {}
+    for dev, nd in node_of.items():
+        nodes.setdefault(nd, []).append(dev)
+    return [sorted(devs) for _, devs in sorted(nodes.items())]
+
+
+def _alltoall_hier(graph, G: int, payload: float, reads: tuple,
+                   writes: tuple, part: str) -> tuple[tuple, bool]:
+    groups = _node_groups(graph)
+    if groups is None or len(groups) < 2:
+        raise ParameterError("hier plans need a multi-node topology (node_of)")
+    s = payload / (G - 1)
+    w0 = writes[0]
+    leaders = [grp[0] for grp in groups]
+    nnodes = len(groups)
+    rounds: list[tuple] = []
+    # phase 0: intra-node pairwise exchange (final placement)
+    for k in range(1, max(len(grp) for grp in groups)):
+        msgs = []
+        for grp in groups:
+            if k >= len(grp):
+                continue
+            for i, g in enumerate(grp):
+                dst = grp[(i + k) % len(grp)]
+                msgs.append(Msg(g, dst, s, reads,
+                                tuple(f"{w}{part}#s{g}" for w in writes)))
+        if msgs:
+            rounds.append(tuple(msgs))
+    # phase 1: non-leaders funnel their off-node data to the leader
+    msgs = []
+    for grp in groups:
+        off = (G - len(grp)) * s
+        for g in grp[1:]:
+            msgs.append(Msg(g, grp[0], off, reads, (f"{w0}{part}#fwd{g}",)))
+    if msgs:
+        rounds.append(tuple(msgs))
+    # phase 2: leaders exchange node aggregates pairwise over the NICs
+    for k in range(1, nnodes):
+        msgs = []
+        for i, ld in enumerate(leaders):
+            j = (i + k) % nnodes
+            nb = len(groups[i]) * len(groups[j]) * s
+            rd = reads + tuple(f"{w0}{part}#fwd{g}" for g in groups[i][1:])
+            msgs.append(Msg(ld, leaders[j], nb, rd, (f"{w0}{part}#nd{i}",)))
+        rounds.append(tuple(msgs))
+    # phase 3: leaders scatter the received off-node data locally
+    msgs = []
+    for i, grp in enumerate(groups):
+        rd = tuple(f"{w0}{part}#nd{j}" for j in range(nnodes) if j != i)
+        for g in grp[1:]:
+            msgs.append(Msg(grp[0], g, (G - len(grp)) * s, rd,
+                            (f"{w0}{part}#rem",)))
+    if msgs:
+        rounds.append(tuple(msgs))
+    return tuple(rounds), True
+
+
+def _allgather_hier(graph, G: int, b: float, reads: tuple, writes: tuple,
+                    part: str) -> tuple[tuple, bool]:
+    groups = _node_groups(graph)
+    if groups is None or len(groups) < 2:
+        raise ParameterError("hier plans need a multi-node topology (node_of)")
+    leaders = [grp[0] for grp in groups]
+    nnodes = len(groups)
+    rounds: list[tuple] = []
+
+    def blocks(devs) -> tuple:
+        return tuple(f"{w}{part}#b{x}" for x in devs for w in writes)
+
+    # phase 1: funnel contributions to the node leader
+    msgs = [Msg(g, grp[0], b, reads, blocks([g]))
+            for grp in groups for g in grp[1:]]
+    if msgs:
+        rounds.append(tuple(msgs))
+    # phase 2: ring over leaders, forwarding whole node blocks
+    for k in range(nnodes - 1):
+        msgs = []
+        for i, ld in enumerate(leaders):
+            j = (i - k) % nnodes  # node block forwarded this round
+            if j == i:  # own node: leader's block is in `reads`
+                rd = reads + blocks(groups[j][1:])
+            else:
+                rd = blocks(groups[j])
+            msgs.append(Msg(ld, leaders[(i + 1) % nnodes],
+                            len(groups[j]) * b, rd, blocks(groups[j])))
+        rounds.append(tuple(msgs))
+    # phase 3: leaders broadcast the off-node blocks to their locals
+    msgs = []
+    for i, grp in enumerate(groups):
+        off = [x for j, g2 in enumerate(groups) if j != i for x in g2]
+        for g in grp[1:]:
+            msgs.append(Msg(grp[0], g, len(off) * b, blocks(off), blocks(off)))
+    if msgs:
+        rounds.append(tuple(msgs))
+    return tuple(rounds), True
+
+
+# ---------------------------------------------------------------------------
+# dispatch + costing
+# ---------------------------------------------------------------------------
+
+def build_plan(
+    spec,
+    kind: str,
+    payload: float,
+    algorithm: str,
+    reads: tuple = (),
+    writes: tuple = ("comm",),
+    part: str = "",
+) -> CommPlan:
+    """Build the message plan for one collective on one machine.
+
+    ``payload`` is the per-device payload: total bytes each device sends
+    for an alltoall, the per-device contribution for an allgather.
+    ``reads``/``writes`` are the caller's base buffer names (already
+    chunk-qualified on the read side); ``part`` is the chunk tag appended
+    to write names before the per-message ``#s``/``#b`` sub-parts.
+    """
+    G = spec.num_devices
+    if kind not in KINDS:
+        raise ParameterError(f"unknown collective kind {kind!r}")
+    if G < 2:
+        raise ParameterError("message plans need at least 2 devices")
+    if not writes:
+        raise ParameterError("message plans need at least one write buffer")
+    reads, writes = tuple(reads), tuple(writes)
+    if algorithm == "direct":
+        rounds, chained = (_alltoall_direct if kind == "alltoall"
+                           else _allgather_direct)(G, payload, reads, writes, part)
+    elif algorithm == "ring":
+        rounds, chained = (_alltoall_ring if kind == "alltoall"
+                           else _allgather_ring)(G, payload, reads, writes, part)
+    elif algorithm == "bruck":
+        rounds, chained = (_alltoall_bruck if kind == "alltoall"
+                           else _allgather_bruck)(G, payload, reads, writes, part)
+    elif algorithm == "hier":
+        rounds, chained = (_alltoall_hier if kind == "alltoall"
+                           else _allgather_hier)(spec.graph, G, payload,
+                                                 reads, writes, part)
+    else:
+        raise ParameterError(
+            f"unknown plan algorithm {algorithm!r}; choose from "
+            f"{[a for a in ALGORITHMS if a != 'bulk']}"
+        )
+    return CommPlan(algorithm=algorithm, kind=kind, rounds=rounds,
+                    chained=chained)
+
+
+def message_bandwidths(spec, msgs) -> list[float]:
+    """Contention-adjusted effective bandwidth for each message of a round.
+
+    Messages on a dedicated direct edge share it only with same-direction
+    traffic on that edge; messages without an edge serialize through
+    their endpoints' shared fallback interfaces (PCIe/NIC).  Each
+    message's bandwidth is its link rate divided by the worst sharing
+    count among the interfaces it crosses — links stay full duplex, so
+    opposite directions never contend.
+    """
+    load: Counter = Counter()
+    keys = []
+    for m in msgs:
+        if spec.graph.has_edge(m.src, m.dst):
+            k = (("edge", m.src, m.dst),)
+        else:
+            k = (("fb-tx", m.src), ("fb-rx", m.dst))
+        keys.append(k)
+        for kk in k:
+            load[kk] += 1
+    return [
+        spec.pair_bandwidth(m.src, m.dst) / max(load[kk] for kk in k)
+        for m, k in zip(msgs, keys)
+    ]
+
+
+def round_time(spec, msgs) -> float:
+    """Completion time of one round: slowest message, contention included."""
+    bws = message_bandwidths(spec, msgs)
+    return max(
+        topo.pair_latency(spec.graph, m.src, m.dst) + m.nbytes / bw
+        for m, bw in zip(msgs, bws)
+    )
+
+
+def plan_time(spec, plan: CommPlan) -> float:
+    """Predicted completion time of a plan: rounds run back to back."""
+    return sum(round_time(spec, r) for r in plan.rounds)

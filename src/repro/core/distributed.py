@@ -39,6 +39,11 @@ class FmmFftDistributed:
     fuse_post:
         True (default) fuses POST into the 2D FFT's first load; False
         issues it as a separate elementwise kernel (the ablation).
+    comm_algorithm:
+        Collective algorithm for the FMM allgather and the 2D FFT
+        transpose (see :mod:`repro.comm`): ``"bulk"`` is the legacy
+        flat model, ``"auto"`` picks the cheapest message plan per
+        collective for this topology.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class FmmFftDistributed:
         backend: str = "auto",
         chunks: int = 4,
         fuse_post: bool = True,
+        comm_algorithm: str = "bulk",
     ):
         if plan.G != cluster.G:
             raise ParameterError(f"plan G={plan.G} != cluster G={cluster.G}")
@@ -58,11 +64,12 @@ class FmmFftDistributed:
         self.backend = backend
         self.fmm = DistributedFMM(
             plan.operators if plan.operators is not None else plan.geometry,
-            cluster, dtype=plan.dtype,
+            cluster, dtype=plan.dtype, comm_algorithm=comm_algorithm,
         )
         self.fft2d = Distributed2DFFT(
             plan.M, plan.P, cluster, dtype=plan.dtype, chunks=chunks,
             backend=backend, fuse_load=fuse_post,
+            comm_algorithm=comm_algorithm,
         )
         self._r: np.ndarray | None = None
 

@@ -53,6 +53,9 @@ class Distributed1DFFT:
     backend:
         Local FFT backend ('auto' = our Stockham, 'numpy' = pocketfft
         oracle/fast path).
+    comm_algorithm:
+        Collective algorithm for the three transposes (see
+        :mod:`repro.comm`); ``"bulk"`` is the legacy flat model.
     """
 
     def __init__(
@@ -64,6 +67,7 @@ class Distributed1DFFT:
         P: int | None = None,
         chunks: int = 4,
         backend: str = "auto",
+        comm_algorithm: str = "bulk",
     ):
         check_pow2("N", N)
         q = ilog2(N)
@@ -93,6 +97,7 @@ class Distributed1DFFT:
             chunks = 1
         self.chunks = max(1, min(chunks, M // G, P // G))
         self.backend = backend
+        self.comm_algorithm = comm_algorithm
         self._plan_M = LocalFFTPlan(M, dtype=dt, backend=backend)
         self._plan_P = LocalFFTPlan(P, dtype=dt, backend=backend)
 
@@ -214,6 +219,7 @@ class Distributed1DFFT:
                 evs = distributed_transpose(
                     cl, key, key, lay_mp, self.dtype, name="transpose1", chunks=1,
                     after_chunks=[after] if after is not None else None,
+                    algorithm=self.comm_algorithm,
                 )
             # (2) P local FFTs of size M, chunked
             with cl.region("fftM"):
@@ -225,6 +231,7 @@ class Distributed1DFFT:
                 evs = distributed_transpose(
                     cl, key, key, lay_pm, self.dtype, name="transpose2",
                     after_chunks=chunk_evs, chunks=self.chunks,
+                    algorithm=self.comm_algorithm,
                 )
             # (3)+(5) twiddle fused into M local FFTs of size P, chunked
             with cl.region("fftP"):
@@ -236,6 +243,7 @@ class Distributed1DFFT:
                 evs = distributed_transpose(
                     cl, key, key, lay_mp, self.dtype, name="transpose3",
                     after_chunks=chunk_evs, chunks=self.chunks,
+                    algorithm=self.comm_algorithm,
                 )
             cl.barrier()
         if cl.execute:

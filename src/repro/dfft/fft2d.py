@@ -50,6 +50,9 @@ class Distributed2DFFT:
         first FFT (no extra memory round trip); False charges a separate
         elementwise kernel — the ablation of the paper's callback
         optimization.
+    comm_algorithm:
+        Collective algorithm for the transpose (see :mod:`repro.comm`):
+        ``"bulk"`` is the legacy flat model, ``"auto"`` the selector.
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class Distributed2DFFT:
         chunks: int = 4,
         backend: str = "auto",
         fuse_load: bool = True,
+        comm_algorithm: str = "bulk",
     ):
         check_pow2("M", M)
         check_pow2("P", P)
@@ -80,6 +84,7 @@ class Distributed2DFFT:
         self.chunks = max(1, min(chunks, M // G, P // G))
         self.backend = backend
         self.fuse_load = fuse_load
+        self.comm_algorithm = comm_algorithm
         self._plan_M = LocalFFTPlan(M, dtype=dt, backend=backend)
         self._plan_P = LocalFFTPlan(P, dtype=dt, backend=backend)
 
@@ -185,6 +190,7 @@ class Distributed2DFFT:
             evs2 = distributed_transpose(
                 cl, key, key, lay_mp, self.dtype, name="fft2d.transpose",
                 after_chunks=chunk_evs, chunks=self.chunks,
+                algorithm=self.comm_algorithm,
             )
 
         # (c) P local FFTs of size M

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import comm
 from repro.dfft.fft1d import Distributed1DFFT
 from repro.fftcore.twiddle import twiddles
 from repro.machine.cluster import VirtualCluster
@@ -42,6 +43,10 @@ class DistributedRealFFT:
         Real input precision: 'float32' or 'float64'.
     chunks, backend:
         Passed through to the inner complex FFT.
+    comm_algorithm:
+        Collective algorithm for the inner FFT's transposes (see
+        :mod:`repro.comm`); the mirror exchange itself is already a
+        per-message plan.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class DistributedRealFFT:
         dtype="float64",
         chunks: int = 4,
         backend: str = "auto",
+        comm_algorithm: str = "bulk",
     ):
         check_pow2("N", N)
         if N < 4:
@@ -64,7 +70,8 @@ class DistributedRealFFT:
         self.rdtype = dt
         self.cdtype = np.dtype(np.complex64 if dt == np.float32 else np.complex128)
         self.inner = Distributed1DFFT(
-            N // 2, cluster, dtype=self.cdtype, chunks=chunks, backend=backend
+            N // 2, cluster, dtype=self.cdtype, chunks=chunks, backend=backend,
+            comm_algorithm=comm_algorithm,
         )
 
     def run(self, x: np.ndarray | None = None, key: str = "drfft") -> np.ndarray | None:
@@ -116,8 +123,8 @@ class DistributedRealFFT:
                     # mirror device; the returned event is the *receive*
                     # completion on that device
                     mirror = (G - 1 - g) if G > 1 else 0
-                    ev_mirror[mirror] = cl.sendrecv(
-                        g, mirror, blk * itemc / C, "rfft.mirror",
+                    ev_mirror[mirror] = comm.sendrecv(
+                        cl, g, mirror, blk * itemc / C, "rfft.mirror",
                         reads=[key], writes=[f"{key}.mirror{part}"],
                     )
             with cl.region("rfft"), cl.region("untangle"):

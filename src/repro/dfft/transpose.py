@@ -18,6 +18,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import comm
 from repro.dfft.layout import BlockRows
 from repro.machine.cluster import VirtualCluster
 from repro.machine.stream import Event
@@ -48,6 +49,7 @@ def distributed_transpose(
     name: str = "transpose",
     after_chunks: Sequence[Sequence[Event]] | None = None,
     chunks: int = 1,
+    algorithm: str = "bulk",
 ) -> list[Event]:
     """Transpose a block-row distributed matrix; returns per-device events.
 
@@ -69,6 +71,10 @@ def distributed_transpose(
         ``i`` starts only after ``after_chunks[i]``.
     chunks:
         Number of all-to-all pieces to pipeline.
+    algorithm:
+        Collective algorithm (see :mod:`repro.comm`): ``"bulk"`` is the
+        legacy flat model, ``"auto"`` picks the cheapest message plan
+        for this topology and payload.
     """
     if cl.G != layout.G:
         raise ParameterError(f"cluster G={cl.G} != layout G={layout.G}")
@@ -81,29 +87,23 @@ def distributed_transpose(
     itemsize = np.dtype(dtype).itemsize
     sent = layout.alltoall_bytes_sent(itemsize)
 
-    # Real data moves once, with the first chunk (orchestration is
+    # Real data moves once, with the first op issued (orchestration is
     # sequential, so the data is complete by the time any fn runs).
+    # Chunk i moves row-chunk i of the source into transposed slot i of
+    # the destination; distinct chunks are disjoint sub-resources, which
+    # is what lets them pipeline against the producing FFTs.
     def fn(c: VirtualCluster) -> None:
         _move_blocks(c, src_key, dst_key, layout)
 
-    events: list[Event] = []
-    for i in range(chunks):
-        after = tuple(after_chunks[i]) if after_chunks is not None else ()
-        # Chunk i moves row-chunk i of the source into transposed slot i
-        # of the destination; distinct chunks are disjoint sub-resources,
-        # which is what lets them pipeline against the producing FFTs.
-        if chunks == 1:
-            reads, writes = [src_key], [dst_key]
-        else:
-            reads, writes = [f"{src_key}#r{i}"], [f"{dst_key}#t{i}"]
-        events = cl.alltoall(
-            sent / chunks,
-            name=name,
-            after=after,
-            fn=fn if i == 0 else None,
-            reads=reads,
-            writes=writes,
-        )
+    events = comm.alltoall(
+        cl, sent, name,
+        fn=fn,
+        reads=[src_key],
+        writes=[dst_key],
+        algorithm=algorithm,
+        chunks=chunks,
+        after_chunks=after_chunks,
+    )
     # Local diagonal sub-block still needs an on-device reorder
     # (read + write of local_bytes / G); on G == 1 this is the whole
     # transpose and carries the full local cost.

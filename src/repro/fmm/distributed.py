@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import comm
 from repro.fmm.interaction import COUSINS_EVEN, COUSINS_ODD, base_offsets
 from repro.fmm.plan import FmmGeometry, FmmOperators
 from repro.machine.cluster import VirtualCluster
@@ -51,11 +52,15 @@ class DistributedFMM:
         cluster: VirtualCluster,
         dtype="complex128",
         fuse_m2l_l2l: bool = False,
+        comm_algorithm: str = "bulk",
     ):
         """``fuse_m2l_l2l`` enables the Section 5.3 fusion: each level's
         M2L and the L2L feeding it run as one kernel, saving one write
         and one read of the local-expansion data per level (identical
-        numerics; fewer launches and memory ops)."""
+        numerics; fewer launches and memory ops).  ``comm_algorithm``
+        selects the collective algorithm for the base-level allgather
+        (see :mod:`repro.comm`); the halo exchanges are already
+        per-message plans."""
         if operators.tree.G != cluster.G:
             raise ParameterError(
                 f"operators built for G={operators.tree.G}, cluster has G={cluster.G}"
@@ -68,6 +73,7 @@ class DistributedFMM:
         self.cl = cluster
         self.dtype = np.dtype(dtype)
         self.fuse_m2l_l2l = fuse_m2l_l2l
+        self.comm_algorithm = comm_algorithm
         self.C = c_factor(self.dtype)
         self.rsize = np.dtype(real_dtype_for(self.dtype)).itemsize
         self.csize = self.C * self.rsize  # bytes per input element
@@ -211,11 +217,12 @@ class DistributedFMM:
         with cl.region("fmm"), cl.region("base"):
             # ---- line 9: all-to-all gather of base multipoles ---------------
             base_bytes = (P - 1) * o.tree.boxes_local(B) * Q * self.csize
-            ev_gather = cl.allgather(
-                base_bytes, "COMM-MB",
+            ev_gather = comm.allgather(
+                cl, base_bytes, "COMM-MB",
                 after=[ev_m[g] for g in range(G)] if G > 1 else ev_m,
                 fn=lambda c: self._do_gather_base(),
                 reads=[f"fmm.M{B}"], writes=["fmm.MB"],
+                algorithm=self.comm_algorithm,
             )
 
             # ---- line 10: dense base-level M2L ------------------------------
@@ -321,44 +328,21 @@ class DistributedFMM:
     ) -> list[Event]:
         """Cyclic neighbour exchange of ``width`` boxes per side.
 
-        Two fully parallel ring shifts (right then left); returns per-
-        device events for halo arrival.  ``after[g]`` gates device g's
-        sends on its producer kernel.  The real data is stashed in
-        ``self._halo[what]`` as (left_halo, right_halo) per device.
+        Stashes the real halo data (execute mode), then issues the
+        exchange through :func:`repro.comm.halo_exchange` — two fully
+        parallel ring shifts whose ``#L``/``#R`` halo slots are disjoint
+        sub-resources.  Returns per-device events for halo arrival;
+        ``after[g]`` gates device g's sends on its producer kernel.  The
+        real data is stashed in ``self._halo[what]`` as
+        (left_halo, right_halo) per device.
         """
-        cl, G = self.cl, self.cl.G
+        cl = self.cl
         if cl.execute:
             self._stash_halo(what, key, width, level)
-        if G == 1:
-            if after:
-                return [Event(after[0].time, name)]
-            st = [cl.dev(0).stream("comm.rx")]
-            return [Event(st[0].clock, name)]
-        deps = after or [None] * G
-        # Each device sends its boundary boxes from the source buffer; the
-        # receiver's left (#L) and right (#R) halo slots are disjoint
-        # sub-resources, so the two ring shifts never alias each other.
         src_buf = key if key is not None else f"fmm.M{level}"
-        halo_buf = f"fmm.halo.{what}"
-        ev_right = [
-            cl.sendrecv(g, (g + 1) % G, nbytes, name,
-                        after=[deps[g]] if deps[g] is not None else (),
-                        reads=[src_buf], writes=[f"{halo_buf}#L"])
-            for g in range(G)
-        ]
-        ev_left = [
-            cl.sendrecv(g, (g - 1) % G, nbytes, name,
-                        after=[deps[g]] if deps[g] is not None else (),
-                        reads=[src_buf], writes=[f"{halo_buf}#R"])
-            for g in range(G)
-        ]
-        out = []
-        for g in range(G):
-            # device g receives from g-1 (right shift) and g+1 (left shift)
-            recv_r = ev_right[(g - 1) % G]
-            recv_l = ev_left[(g + 1) % G]
-            out.append(recv_r if recv_r.time >= recv_l.time else recv_l)
-        return out
+        return comm.halo_exchange(
+            cl, nbytes, name, src_buf, f"fmm.halo.{what}", after=after,
+        )
 
     def _stash_halo(self, what: str, key: str | None, width: int, level: int | None) -> None:
         """Record the halo data every device will need (execute mode)."""

@@ -9,9 +9,12 @@ library runs on.  It provides:
   memory dict.
 - ``sendrecv`` — point-to-point transfer occupying both endpoints' comm
   streams (halo exchanges).
-- ``alltoall`` / ``allgather`` — collectives costed with the topology's
-  effective bandwidth; ``alltoall`` supports chunking so transposes can
-  pipeline against local compute, as cuFFTXT does.
+- ``alltoall`` / ``allgather`` — the legacy flat ("bulk") collectives
+  costed with the topology's effective bandwidth; ``alltoall`` supports
+  chunking so transposes can pipeline against local compute, as cuFFTXT
+  does.  Pipelines issue collectives through :mod:`repro.comm`, which
+  either delegates here (``algorithm="bulk"``) or decomposes them into
+  explicit per-round ``sendrecv`` message plans.
 - events/streams — explicit dependencies, so overlap is expressed the
   same way the paper's CUDA implementation expresses it.
 
@@ -66,6 +69,9 @@ class VirtualCluster:
         self.ledger = Ledger()
         self._a2a_bw = spec.alltoall_bandwidth() if spec.num_devices > 1 else None
         self._regions: list[str] = []
+        #: one entry per repro.comm collective call (algorithm, payload,
+        #: predicted time) — joined against the ledger by obs.metrics
+        self.comm_log: list[dict] = []
 
     # -- basic accessors ----------------------------------------------
 
@@ -220,26 +226,49 @@ class VirtualCluster:
         fn: Callable[["VirtualCluster"], None] | None = None,
         reads: Sequence[str] = (),
         writes: Sequence[str] = (),
+        bandwidth: float | None = None,
+        latency: float | None = None,
     ) -> Event:
         """P2P transfer src -> dst on both comm streams.
 
-        On a single-device cluster this is free (and ``fn`` still runs,
-        so G=1 degenerates correctly).  ``reads`` are buffers on the
-        source device, ``writes`` buffers on the destination.
+        ``reads`` are buffers on the source device, ``writes`` buffers on
+        the destination.  ``bandwidth``/``latency`` override the spec's
+        pair values — :mod:`repro.comm` uses them to charge per-message
+        link contention and per-link latency; left at ``None`` the
+        transfer is costed exactly as before (worst-case link latency +
+        full pair bandwidth).  ``comm_bytes`` records the full message
+        size once, on the source device.
+
+        A self-send (``src == dst``, including every G=1 transfer) is a
+        local copy: it costs nothing and moves no interconnect bytes, but
+        still appends a zero-duration ledger record carrying its
+        read/write declares so the hazard sanitizer and G=1 traces see
+        it (``fn`` still runs, so G=1 degenerates correctly).
         """
         if src == dst or self.G == 1:
             if fn is not None and self.execute:
                 fn(self)
-            st = self.devices[src].stream("comm.tx")
-            return Event(st.ready_after(*after), name)
+            s_st = self.devices[src].stream("comm.tx")
+            d_st = self.devices[src].stream("comm.rx")
+            start = max(s_st.ready_after(*after), d_st.ready_after())
+            uid = self.ledger.append(
+                OpRecord(device=src, stream="comm", kind="comm", name=name,
+                         start=start, duration=0.0, comm_bytes=0.0, peer=src,
+                         reads=self._qualify(src, reads),
+                         writes=self._qualify(src, writes),
+                         waits=self._wait_uids(after),
+                         region=self.region_path)
+            )
+            s_st.advance_to(start, op=uid)
+            return d_st.advance_to(start, op=uid)
         # Links are full duplex: the sender's tx engine and the receiver's
         # rx engine are occupied, so a ring shift (every device one send +
         # one receive) proceeds fully in parallel, as on real NVLink.
         s_st = self.devices[src].stream("comm.tx")
         d_st = self.devices[dst].stream("comm.rx")
         start = max(s_st.ready_after(*after), d_st.ready_after(*after))
-        link_lat = self.spec.comm_latency()
-        bw = self.spec.pair_bandwidth(src, dst)
+        link_lat = self.spec.comm_latency() if latency is None else latency
+        bw = self.spec.pair_bandwidth(src, dst) if bandwidth is None else bandwidth
         dur = link_lat + nbytes / bw
         uid = self.ledger.append(
             OpRecord(device=src, stream="comm", kind="comm", name=name,
@@ -265,12 +294,24 @@ class VirtualCluster:
         reads: Sequence[str] = (),
         writes: Sequence[str] = (),
     ) -> list[Event]:
-        """Shared costing for alltoall/allgather.
+        """Shared costing for alltoall/allgather (the ``bulk`` model).
 
         All devices' comm streams synchronize at the start (it is a
         collective), proceed at the topology's effective all-to-all
         bandwidth, and finish together.  ``reads``/``writes`` are
         device-local names applied per participating device.
+
+        Byte accounting convention: each of the G records carries
+        ``comm_bytes = bytes_per_device`` — the payload *that device*
+        injects — so the ledger total for a collective is
+        ``G * bytes_per_device``, symmetric with p2p ``sendrecv`` where
+        the single record carries the full message the source injects.
+        Summing ``comm_bytes`` over any record set therefore always
+        yields "bytes injected by those devices", never double-counted.
+
+        Pipelines should not call this directly: :mod:`repro.comm`
+        wraps it (``algorithm="bulk"``) alongside the per-round message
+        plans, and the ``raw-comm`` lint rule enforces that boundary.
         """
         if self.G == 1:
             if fn is not None and self.execute:

@@ -41,7 +41,12 @@ class OpRecord:
     mops:
         Bytes moved through device memory.
     comm_bytes:
-        Bytes sent over the interconnect (comm ops only).
+        Bytes this record's device injects into the interconnect (comm
+        ops only).  P2P transfers record the full message once, on the
+        source; collectives record the per-device payload on every
+        participant, so a collective's ledger total is G x payload and
+        summing ``comm_bytes`` never double-counts a byte.  Self-sends
+        (local copies) record 0.0.
     peer:
         Receiving device id for point-to-point comm, else -1.
     uid:

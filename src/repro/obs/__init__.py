@@ -14,9 +14,10 @@ predictions.  This package gives the simulator the same toolchain:
   sendrecv/collective pairs, counter tracks for achieved GFLOP/s,
   memory GB/s, and in-flight comm bytes;
 - :mod:`repro.obs.metrics` — per-stage rollups, the measured-vs-model
-  join (Figure 5 efficiencies), comm/compute overlap and exposed-comm
-  accounting, and critical-path extraction with per-op slack over the
-  happens-before graph;
+  join (Figure 5 efficiencies), the comm measured-vs-plan-model join
+  validating :mod:`repro.comm` predictions against the ledger,
+  comm/compute overlap and exposed-comm accounting, and critical-path
+  extraction with per-op slack over the happens-before graph;
 - :mod:`repro.obs.bench` — the ``BENCH_obs.json`` harness recording the
   perf trajectory per testbed.
 
@@ -28,6 +29,7 @@ CLI entry points: ``repro metrics``, ``repro profile --trace-out``,
 from __future__ import annotations
 
 from repro.obs.metrics import (
+    CommJoin,
     CriticalPath,
     MetricsReport,
     ModelJoin,
@@ -35,6 +37,7 @@ from repro.obs.metrics import (
     StageStat,
     compute_metrics,
     critical_path,
+    join_comm_model,
     join_fmm_model,
     overlap_stats,
     overlap_summary,
@@ -44,6 +47,7 @@ from repro.obs.perfetto import build_trace, save_trace, validate_trace
 from repro.obs.region import region
 
 __all__ = [
+    "CommJoin",
     "CriticalPath",
     "MetricsReport",
     "ModelJoin",
@@ -52,6 +56,7 @@ __all__ = [
     "build_trace",
     "compute_metrics",
     "critical_path",
+    "join_comm_model",
     "join_fmm_model",
     "overlap_stats",
     "overlap_summary",

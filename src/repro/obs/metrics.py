@@ -153,6 +153,77 @@ def join_fmm_model(
 
 
 # ---------------------------------------------------------------------------
+# measured vs comm plan model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CommJoin:
+    """One collective's measured comm time against its plan prediction.
+
+    ``measured`` is the per-device average busy time of the stage's comm
+    records (ledger durations divided by G for collectives/halos, raw
+    for p2p — matching the per-device convention of the predictions);
+    ``model`` is the :func:`repro.comm.tuning.predict_time` total over
+    the logged calls.  For ``bulk`` the two agree exactly (the flat
+    model *is* the charged duration); for message plans the ratio is a
+    balance diagnostic — below 1.0 when devices idle between rounds of
+    the plan's critical path, above 1.0 when queueing stretched rounds.
+    """
+
+    name: str
+    kind: str
+    algorithm: str
+    calls: int
+    payload: float
+    measured: float
+    model: float
+
+    @property
+    def ratio(self) -> float:
+        """measured / model; 1.0 when both are zero (degenerate calls)."""
+        if self.model > 0:
+            return self.measured / self.model
+        return 1.0 if self.measured == 0 else float("inf")
+
+
+def join_comm_model(
+    ledger: Ledger,
+    comm_log: list[dict],
+    num_devices: int,
+) -> list[CommJoin]:
+    """Join the cluster's ``comm_log`` against the ledger's comm records.
+
+    Groups log entries by (stage name, kind, algorithm), sums their
+    predictions, and compares with the summed durations of the comm
+    records carrying that stage name — the measured-vs-model validation
+    for the :mod:`repro.comm` cost model.
+    """
+    if not comm_log:
+        return []
+    groups: dict[tuple, list[float]] = {}
+    for e in comm_log:
+        k = (e["name"], e["kind"], e["algorithm"])
+        g = groups.setdefault(k, [0, 0.0, 0.0])
+        g[0] += 1
+        g[1] += e["payload"]
+        g[2] += e["predicted"]
+    dur_by_name: dict[str, float] = defaultdict(float)
+    for r in ledger:
+        if r.kind == "comm":
+            dur_by_name[r.name] += r.duration
+    out = []
+    for (name, kind, algo), (calls, payload, model) in groups.items():
+        measured = dur_by_name.get(name, 0.0)
+        if kind in ("alltoall", "allgather", "halo"):
+            measured /= max(num_devices, 1)
+        out.append(CommJoin(name=name, kind=kind, algorithm=algo,
+                            calls=int(calls), payload=payload,
+                            measured=measured, model=model))
+    out.sort(key=lambda j: -j.measured)
+    return out
+
+
+# ---------------------------------------------------------------------------
 # comm/compute overlap
 # ---------------------------------------------------------------------------
 
@@ -356,6 +427,7 @@ class MetricsReport:
     model: list[ModelJoin]
     overlap: list[OverlapStats]
     path: CriticalPath
+    comm: list[CommJoin] = field(default_factory=list)
 
     @property
     def exposed_comm(self) -> float:
@@ -384,6 +456,15 @@ class MetricsReport:
             for j in self.model:
                 t.add_row([j.stage, format_time(j.measured),
                            format_time(j.model), f"{j.efficiency:.2f}"])
+            parts.append(t.render())
+        if self.comm:
+            t = Table(["collective", "kind", "algorithm", "calls", "payload",
+                       "measured", "model", "ratio"],
+                      title="Comm measured vs plan model (per device)")
+            for c in self.comm:
+                t.add_row([c.name, c.kind, c.algorithm, c.calls,
+                           format_bytes(c.payload), format_time(c.measured),
+                           format_time(c.model), f"{c.ratio:.2f}"])
             parts.append(t.render())
         t = Table(["device", "comm busy", "compute busy", "overlapped",
                    "exposed", "hidden frac"],
@@ -430,6 +511,12 @@ class MetricsReport:
                  "efficiency": j.efficiency}
                 for j in self.model
             ],
+            "comm_join": [
+                {"name": c.name, "kind": c.kind, "algorithm": c.algorithm,
+                 "calls": c.calls, "payload": c.payload,
+                 "measured": c.measured, "model": c.model, "ratio": c.ratio}
+                for c in self.comm
+            ],
             "overlap": [
                 {"device": s.device, "comm_busy": s.comm_busy,
                  "compute_busy": s.compute_busy, "overlap": s.overlap,
@@ -445,12 +532,15 @@ def compute_metrics(
     spec: ClusterSpec,
     geom=None,
     dtype="complex128",
+    comm_log=None,
 ) -> MetricsReport:
     """Run every analysis over one ledger.
 
     ``geom`` (an :class:`~repro.fmm.plan.FmmGeometry`) enables the
     Section-5 model join; without it the report simply omits that table
-    (baseline FFT pipelines have no FMM stages to predict).
+    (baseline FFT pipelines have no FMM stages to predict).  ``comm_log``
+    (the cluster's :mod:`repro.comm` call log) enables the comm
+    measured-vs-plan-model table the same way.
     """
     start, end = ledger.span()
     return MetricsReport(
@@ -460,4 +550,6 @@ def compute_metrics(
         model=join_fmm_model(ledger, geom, spec, dtype) if geom is not None else [],
         overlap=overlap_summary(ledger, spec.num_devices),
         path=critical_path(ledger),
+        comm=join_comm_model(ledger, comm_log, spec.num_devices)
+        if comm_log else [],
     )
