@@ -1,0 +1,190 @@
+"""Serving benchmark: batching + wisdom vs one-shot cold planning.
+
+Drives the same synthetic open-loop workload (Poisson arrivals, 3:2:1
+size mix of 2^16/2^17/2^18) through four service configurations on the
+8-device DGX-1 testbed:
+
+- ``unbatched_cold``  — no batching, no plan cache, no wisdom: every
+  request re-runs the autotune search and rebuilds its plan (the
+  "re-plan per request" strawman the service exists to kill);
+- ``unbatched_warm``  — per-request execution but warm wisdom/plans;
+- ``batched_cold``    — continuous batching, caches start empty;
+- ``batched_warm``    — continuous batching over warm wisdom/plans.
+
+It also sweeps throughput vs offered load for the batched-warm service
+and records everything to ``benchmarks/out/BENCH_serve.json``.  The
+headline assertions: batched-warm throughput is at least 2x the
+one-shot cold arm, the warm arms perform **zero** autotune searches,
+the warm plan-cache hit rate is 100%, and the interleaved schedules
+pass the hazard sanitizer.  Run standalone with ``--smoke`` for the CI
+quick pass.
+"""
+
+import json
+import sys
+
+from repro.bench.figures import emit, out_dir
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import preset
+from repro.serve import (
+    AdmissionQueue,
+    Batcher,
+    PlanCache,
+    ServeScheduler,
+    Wisdom,
+    summarize,
+    synthetic_workload,
+)
+from repro.util.table import Table
+
+SYSTEM = "8xP100"
+DTYPE = "complex128"
+#: effectively-saturating offered load: arrivals outpace any service
+SATURATING_RATE = 1e5
+
+
+def _run_arm(spec, requests, cache, batching, max_inflight, capacity=4096):
+    """One service configuration over one request trace -> ServeReport."""
+    cl = VirtualCluster(spec, execute=False)
+    sched = ServeScheduler(
+        cl,
+        Batcher(cache, max_batch=8, batching=batching),
+        queue=AdmissionQueue(capacity=capacity),
+        max_inflight=max_inflight,
+    )
+    sched.run(requests)
+    cl.sanitize()  # interleaved batches must be provably hazard-free
+    return summarize(sched)
+
+
+def _warm_cache(spec, requests):
+    """A cache pre-warmed for every size in the trace, counters zeroed."""
+    cache = PlanCache(spec, wisdom=Wisdom())
+    for n in sorted({r.N for r in requests}):
+        cache.plan_for(n, DTYPE)
+    cache.plan_hits = cache.plan_misses = 0
+    cache.wisdom_hits = cache.wisdom_misses = cache.searches = 0
+    return cache
+
+
+def _collect(num_requests, sweep_rates):
+    spec = preset(SYSTEM)
+    requests = synthetic_workload(num_requests, rate=SATURATING_RATE, seed=11)
+    arms = {
+        "unbatched_cold": _run_arm(
+            spec, requests,
+            PlanCache(spec, capacity=0, remember=False),
+            batching=False, max_inflight=1,
+        ),
+        "unbatched_warm": _run_arm(
+            spec, requests, _warm_cache(spec, requests),
+            batching=False, max_inflight=1,
+        ),
+        "batched_cold": _run_arm(
+            spec, requests, PlanCache(spec, wisdom=Wisdom()),
+            batching=True, max_inflight=2,
+        ),
+        "batched_warm": _run_arm(
+            spec, requests, _warm_cache(spec, requests),
+            batching=True, max_inflight=2,
+        ),
+    }
+    sweep = []
+    for rate in sweep_rates:
+        reqs = synthetic_workload(num_requests, rate=rate, seed=11)
+        rep = _run_arm(spec, reqs, _warm_cache(spec, reqs),
+                       batching=True, max_inflight=2)
+        sweep.append({"offered_rate": rate, "throughput": rep.throughput,
+                      "p99_latency": rep.latency["p99"],
+                      "mean_batch_size": rep.mean_batch_size})
+    return {
+        "system": SYSTEM, "dtype": DTYPE, "num_requests": num_requests,
+        "arms": {name: json.loads(rep.to_json()) for name, rep in arms.items()},
+        "sweep": sweep,
+        "speedup_batched_warm_vs_cold": (
+            arms["batched_warm"].throughput / arms["unbatched_cold"].throughput
+        ),
+    }
+
+
+def _render(payload):
+    t = Table(
+        ["arm", "throughput [req/s]", "p50 [ms]", "p99 [ms]",
+         "mean batch", "searches"],
+        title=f"Serving arms, {payload['system']} "
+              f"({payload['num_requests']} requests, saturating load)",
+    )
+    for name, rep in payload["arms"].items():
+        t.add_row([
+            name, f"{rep['throughput']:.1f}",
+            f"{rep['latency']['p50'] * 1e3:.3f}",
+            f"{rep['latency']['p99'] * 1e3:.3f}",
+            f"{rep['mean_batch_size']:.2f}", rep["searches"],
+        ])
+    s = Table(["offered [req/s]", "served [req/s]", "p99 [ms]", "mean batch"],
+              title="Throughput vs offered load (batched, warm)")
+    for row in payload["sweep"]:
+        s.add_row([f"{row['offered_rate']:.0f}", f"{row['throughput']:.1f}",
+                   f"{row['p99_latency'] * 1e3:.3f}",
+                   f"{row['mean_batch_size']:.2f}"])
+    headline = (f"batched-warm vs one-shot-cold throughput: "
+                f"{payload['speedup_batched_warm_vs_cold']:.1f}x")
+    return "\n\n".join([t.render(), s.render(), headline])
+
+
+def _check(payload):
+    arms = payload["arms"]
+    # the acceptance headline: >= 2x over re-plan-per-request serving
+    assert payload["speedup_batched_warm_vs_cold"] >= 2.0, payload
+    # warm starts perform zero autotune searches and never miss the cache
+    for arm in ("unbatched_warm", "batched_warm"):
+        assert arms[arm]["searches"] == 0, arm
+        assert arms[arm]["wisdom_misses"] == 0, arm
+        assert arms[arm]["plan_hit_rate"] == 1.0, arm
+    # the cold one-shot arm searches on every single request
+    assert arms["unbatched_cold"]["searches"] == payload["num_requests"]
+    # batching actually coalesces under saturating load
+    assert arms["batched_warm"]["mean_batch_size"] > 1.5, arms["batched_warm"]
+    # batching helps even among warm arms (launch/collective amortization)
+    assert (arms["batched_warm"]["throughput"]
+            > arms["unbatched_warm"]["throughput"])
+    # nothing was shed (the queue was sized for the trace)
+    for name, rep in arms.items():
+        assert sum(rep["shed"].values()) == 0, name
+    # offered-load sweep: served rate tracks offered load until saturation
+    sweep = payload["sweep"]
+    assert all(s["throughput"] > 0 for s in sweep)
+
+
+def _emit(payload):
+    emit("serve_throughput", _render(payload))
+    path = out_dir() / "BENCH_serve.json"
+    path.write_text(json.dumps(payload, indent=1))
+    return path
+
+
+def test_serve_throughput(benchmark):
+    """Benchmark the four serving arms and validate the headline claims."""
+    payload = benchmark.pedantic(
+        lambda: _collect(32, [500.0, 2000.0, 8000.0, 32000.0]),
+        rounds=1, iterations=1,
+    )
+    _emit(payload)
+    _check(payload)
+
+
+def main(argv):
+    """Standalone entry: ``--smoke`` runs a reduced trace for CI."""
+    smoke = "--smoke" in argv
+    if smoke:
+        payload = _collect(12, [2000.0, 20000.0])
+    else:
+        payload = _collect(32, [500.0, 2000.0, 8000.0, 32000.0])
+    path = _emit(payload)
+    _check(payload)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

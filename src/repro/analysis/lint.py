@@ -1,6 +1,6 @@
 """Repo-specific AST lint: the numeric discipline the kernels rely on.
 
-Seven rules, each targeting a failure mode this codebase has actually to
+Eight rules, each targeting a failure mode this codebase has actually to
 guard against (run with ``python tools/lint.py src``):
 
 ``future-annotations``
@@ -38,6 +38,13 @@ guard against (run with ``python tools/lint.py src``):
     measured-vs-model join.  ``._collective`` is internal to the machine
     and comm layers and is flagged everywhere else.
 
+``serve-plan-cache``
+    Serving code (``repro/serve/``) must obtain plans from the
+    :class:`~repro.serve.cache.PlanCache`, never construct
+    ``FmmFftPlan`` directly — a stray construction silently bypasses
+    the wisdom store and falsifies the hit-rate the service reports.
+    ``repro/serve/cache.py`` is the one sanctioned construction site.
+
 Any rule can be waived on one line with ``# lint: allow-<rule>``.
 """
 
@@ -66,6 +73,12 @@ RAW_COMM_ALLOWED = ("repro/machine/", "repro/comm/")
 
 #: cluster comm entry points covered by the raw-comm rule
 RAW_COMM_METHODS = ("sendrecv", "alltoall", "allgather")
+
+#: serving code whose plans must come from the plan cache
+SERVE_PATHS = ("repro/serve/",)
+
+#: the one serve module allowed to construct plans (the cache itself)
+SERVE_PLAN_ALLOWED = "repro/serve/cache.py"
 
 _PRAGMA = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)")
 
@@ -114,6 +127,9 @@ class _Checker(ast.NodeVisitor):
         self.np_fft_ok = NP_FFT_ALLOWED in p
         self.pipeline = any(frag in p for frag in PIPELINE_PATHS)
         self.raw_comm_ok = any(frag in p for frag in RAW_COMM_ALLOWED)
+        self.serve = (
+            any(frag in p for frag in SERVE_PATHS) and SERVE_PLAN_ALLOWED not in p
+        )
         self._stmt: ast.stmt | None = None
 
     # -- plumbing ------------------------------------------------------
@@ -191,6 +207,21 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        # serving code must get plans from the cache, not build them
+        if self.serve and (
+            (isinstance(func, ast.Name) and func.id == "FmmFftPlan")
+            or (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "FmmFftPlan"
+            )
+        ):
+            self._report(
+                node, "serve-plan-cache",
+                "FmmFftPlan constructed in serving code -- resolve plans "
+                "through repro.serve.cache.PlanCache so wisdom and hit-rate "
+                "accounting stay truthful",
+            )
         if isinstance(func, ast.Attribute):
             # dtype-less allocations in kernel code
             if (

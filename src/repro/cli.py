@@ -28,6 +28,10 @@ Commands
     Energy projection of FMM-FFT vs the 1D baseline on one system.
 ``multinode``
     The Section 7 multi-node projection table.
+``serve``
+    Drive a synthetic open-loop workload through the batching transform
+    service (:mod:`repro.serve`): Poisson arrivals, continuous batching,
+    plan cache + persistent wisdom, latency percentiles.
 ``tune``
     Build/extend a JSON tuning-wisdom file over a range of sizes.
 ``trace``
@@ -216,19 +220,100 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_serve(spec, args: argparse.Namespace):
+    """Serve a synthetic workload; returns (cluster, scheduler).
+
+    Shared by ``serve`` and ``metrics --pipeline serve`` so both observe
+    identical schedules.
+    """
+    from repro.serve import (AdmissionQueue, Batcher, PlanCache,
+                             ServeScheduler, Wisdom, synthetic_workload)
+
+    sizes = None
+    if getattr(args, "sizes", None):
+        sizes = {_parse_size(s): 1.0 for s in args.sizes.split(",")}
+    wisdom = None
+    wisdom_path = getattr(args, "wisdom", None)
+    if wisdom_path:
+        from pathlib import Path
+
+        if Path(wisdom_path).exists():
+            wisdom = Wisdom.load(wisdom_path)
+    cache = PlanCache(spec, wisdom=wisdom)
+    cl = VirtualCluster(spec, execute=False)
+    batcher = Batcher(cache, max_batch=getattr(args, "max_batch", 8),
+                      batching=not getattr(args, "no_batching", False))
+    sched = ServeScheduler(
+        cl, batcher,
+        queue=AdmissionQueue(capacity=getattr(args, "queue_capacity", 64)),
+        max_inflight=getattr(args, "max_inflight", 2),
+    )
+    reqs = synthetic_workload(
+        getattr(args, "requests", 32), rate=getattr(args, "rate", 2000.0),
+        sizes=sizes, dtype=args.dtype, seed=getattr(args, "seed", 0),
+    )
+    sched.run(reqs)
+    return cl, sched
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a synthetic open-loop workload on a simulated testbed."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import build_trace
+    from repro.serve import merge_serve_track, summarize
+
+    spec = preset(args.system)
+    cl, sched = _run_serve(spec, args)
+    if args.sanitize:
+        cl.sanitize()
+        print("sanitizer: interleaved schedule certified hazard-free")
+    rep = summarize(sched)
+    print(f"served {args.requests} requests at {args.rate:g} req/s offered "
+          f"on {spec.name} (max batch {args.max_batch}, "
+          f"{'' if not args.no_batching else 'no '}batching)")
+    print(rep.render())
+    if args.wisdom:
+        sched.batcher.cache.wisdom.save(args.wisdom)
+        print(f"wisdom saved to {args.wisdom} "
+              f"({len(sched.batcher.cache.wisdom)} entries)")
+    if args.json:
+        Path(args.json).write_text(rep.to_json())
+        print(f"wrote {args.json}")
+    if args.trace_out:
+        doc = merge_serve_track(build_trace(cl.ledger, spec), sched)
+        Path(args.trace_out).write_text(json.dumps(doc))
+        print(f"wrote {args.trace_out} ({len(doc['traceEvents'])} events, "
+              "serve track included)")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Observability report: rollups, model join, overlap, critical path."""
     from repro.obs import compute_metrics, save_trace
 
     N = _parse_size(args.n)
     spec = preset(args.system)
-    cl, geom, params = _run_pipeline(args.pipeline, N, spec, args.dtype,
-                                     comm=args.comm)
+    serve_report = None
+    if args.pipeline == "serve":
+        from repro.serve import summarize
+
+        cl, sched = _run_serve(spec, args)
+        geom, params = None, None
+        serve_report = summarize(sched)
+    else:
+        cl, geom, params = _run_pipeline(args.pipeline, N, spec, args.dtype,
+                                         comm=args.comm)
     rep = compute_metrics(cl.ledger, spec, geom=geom, dtype=args.dtype,
                           comm_log=cl.comm_log)
     if params is not None:
         print(f"params: {params}")
     print(rep.render())
+    if serve_report is not None:
+        print()
+        print("serve latency / throughput")
+        print(serve_report.render())
     if args.json:
         import json
         from pathlib import Path
@@ -435,7 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     me = sub.add_parser("metrics", help="observability report for a run")
     me.add_argument("--pipeline", default="fmmfft",
-                    choices=["fmmfft", "fft1d", "fft2d", "rfft"])
+                    choices=["fmmfft", "fft1d", "fft2d", "rfft", "serve"])
     me.add_argument("--n", default="2^20", help="size (e.g. 4096 or 2^20)")
     me.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))
     me.add_argument("--dtype", default="complex128",
@@ -475,6 +560,37 @@ def build_parser() -> argparse.ArgumentParser:
     mn.add_argument("--dtype", default="complex128",
                     choices=["complex64", "complex128"])
     mn.set_defaults(fn=cmd_multinode)
+
+    sv = sub.add_parser("serve", help="batching transform service workload")
+    sv.add_argument("--system", default="8xP100", choices=sorted(_PRESETS))
+    sv.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    sv.add_argument("--requests", type=int, default=32,
+                    help="number of requests in the synthetic trace")
+    sv.add_argument("--rate", type=float, default=2000.0,
+                    help="offered load [req/s] (Poisson arrivals)")
+    sv.add_argument("--sizes", default=None,
+                    help="comma-separated size mix (e.g. '2^16,2^18'); "
+                         "default 3:2:1 mix of 2^16/2^17/2^18")
+    sv.add_argument("--max-batch", type=int, default=8,
+                    help="largest coalesced batch")
+    sv.add_argument("--no-batching", action="store_true",
+                    help="serve one request per execution (baseline)")
+    sv.add_argument("--max-inflight", type=int, default=2,
+                    help="concurrent in-flight batches on the cluster")
+    sv.add_argument("--queue-capacity", type=int, default=64,
+                    help="admission queue depth (arrivals beyond it shed)")
+    sv.add_argument("--wisdom", default=None,
+                    help="persistent wisdom JSON: loaded if present, "
+                         "saved after the run (warm starts skip autotuning)")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--sanitize", action="store_true",
+                    help="hazard-sanitize the interleaved schedule")
+    sv.add_argument("--json", default=None,
+                    help="also write the serve report as JSON to this path")
+    sv.add_argument("--trace-out", default=None,
+                    help="export a Perfetto trace with the serve track")
+    sv.set_defaults(fn=cmd_serve)
 
     tu = sub.add_parser("tune", help="build a tuning-wisdom file")
     tu.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))

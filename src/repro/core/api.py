@@ -29,25 +29,39 @@ from repro.util.validation import ParameterError, complex_dtype_for
 def default_params(N: int, G: int = 1) -> dict:
     """Reasonable default (P, ML, B, Q) for a size, following Section 6:
     ML = 64 and Q = 16 for large N, P sized to keep M = N/P >= 4 ML and
-    the 2D FFT aspect ratio moderate."""
+    the 2D FFT aspect ratio moderate.
+
+    Always returns an admissible tuple for :meth:`FmmFftPlan.create`
+    (or raises :class:`ParameterError` when no admissible configuration
+    exists, e.g. G > N/2): the base level satisfies ``2 <= B <= L`` and
+    ``G | 2^B``, and P is a multiple of G in ``[2, N/2]``.  Preference
+    order when N is small for the device count: shrink P toward 2G,
+    then shrink the leaf ML, then (last resort) allow P down to G.
+    """
     if not is_pow2(N):
         raise ParameterError(f"FMM-FFT sizes must be powers of two, got {N}")
+    if G < 1 or not is_pow2(G):
+        raise ParameterError(f"G must be a positive power of two, got {G}")
     q = ilog2(N)
+    Bmin = max(2, ilog2(G))         # smallest B with G | 2^B
+    P_floor = max(2, G)             # smallest admissible P (G | P)
+    if P_floor > N // 2 or N // P_floor < max(4, 1 << Bmin):
+        raise ParameterError(
+            f"no admissible FMM-FFT configuration for N={N} on G={G} devices"
+        )
     ML = 64 if q >= 16 else max(4, 1 << max(2, q // 3))
-    # target P near sqrt(N) but capped so M/ML leaves a usable tree
-    P = 1 << max(1, q // 2 - 2)
-    P = max(P, 2 * G)
-    while N // P < 4 * ML:
+    # target P near sqrt(N) but capped so M/ML leaves a usable tree:
+    # M = N/P must hold at least max(4, 2^Bmin) leaf-level boxes.
+    P = min(max(1 << max(1, q // 2 - 2), 2 * G, 2), N // 2)
+    while P > max(2, 2 * G) and N // P < max(4, 1 << Bmin) * ML:
         P //= 2
-    P = max(P, max(2, 2 * G))
-    while N // P < 4 * ML and ML > 2:
+    while ML > 1 and N // P < max(4, 1 << Bmin) * ML:
         ML //= 2
+    while P > P_floor and N // P < max(4, 1 << Bmin) * ML:
+        P //= 2
     M = N // P
     L = ilog2(M // ML)
-    B = min(3, L)
-    B = max(B, 2)
-    if (1 << B) % G != 0:
-        B = ilog2(G)
+    B = max(min(3, L), Bmin)
     return dict(P=P, ML=ML, B=B, Q=16)
 
 

@@ -44,6 +44,16 @@ class FmmFftDistributed:
         transpose (see :mod:`repro.comm`): ``"bulk"`` is the legacy
         flat model, ``"auto"`` picks the cheapest message plan per
         collective for this topology.
+    ns:
+        Buffer namespace.  None (default) keeps the historical names
+        (``fmmfft.S``/``fmmfft.T`` staging, ``fmm.*`` internals); a
+        string ``s`` prefixes every buffer with ``s.`` so concurrent
+        in-flight executions (serve's interleaved batches) touch
+        provably disjoint buffers.
+    batch:
+        Stacked-problem count (timing-only cost model): the serve
+        batcher's coalesced requests run as one schedule whose data
+        costs scale by ``batch`` while launch/collective counts do not.
     """
 
     def __init__(
@@ -54,22 +64,34 @@ class FmmFftDistributed:
         chunks: int = 4,
         fuse_post: bool = True,
         comm_algorithm: str = "bulk",
+        ns: str | None = None,
+        batch: int = 1,
     ):
         if plan.G != cluster.G:
             raise ParameterError(f"plan G={plan.G} != cluster G={cluster.G}")
         if plan.operators is None and cluster.execute:
             raise ParameterError("execute-mode cluster requires built operators")
+        if batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {batch}")
+        if batch > 1 and cluster.execute:
+            raise ParameterError(
+                "batch > 1 is a timing-only cost model; execute-mode numerics "
+                "run through core.single.fmmfft_batched"
+            )
         self.plan = plan
         self.cl = cluster
         self.backend = backend
+        self.ns = "fmmfft" if ns is None else ns
+        fmm_ns = "fmm" if ns is None else f"{ns}.fmm"
         self.fmm = DistributedFMM(
             plan.operators if plan.operators is not None else plan.geometry,
             cluster, dtype=plan.dtype, comm_algorithm=comm_algorithm,
+            ns=fmm_ns, batch=batch,
         )
         self.fft2d = Distributed2DFFT(
             plan.M, plan.P, cluster, dtype=plan.dtype, chunks=chunks,
             backend=backend, fuse_load=fuse_post,
-            comm_algorithm=comm_algorithm,
+            comm_algorithm=comm_algorithm, batch=batch,
         )
         self._r: np.ndarray | None = None
 
@@ -98,22 +120,32 @@ class FmmFftDistributed:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, x: np.ndarray | None = None) -> np.ndarray | None:
+    def run(
+        self,
+        x: np.ndarray | None = None,
+        after: list | None = None,
+        barrier: bool = True,
+    ) -> np.ndarray | None:
         """Execute the full FMM-FFT.
+
+        ``after`` gates the input-consuming stages (request release in
+        the serve scheduler); ``barrier=False`` skips the trailing
+        cluster barrier so another in-flight schedule can overlap.
 
         Returns the in-order DFT (gathered to the host) in execute mode,
         None in timing-only mode.  Simulated time accumulates on the
         cluster; read it with ``cluster.wall_time()``.
         """
         cl, plan = self.cl, self.plan
-        key_s, key_t = "fmmfft.S", "fmmfft.T"
+        key_s, key_t = f"{self.ns}.S", f"{self.ns}.T"
         if cl.execute:
             if x is None:
                 raise ParameterError("execute-mode cluster requires input data")
             self._scatter_input(x, key_s)
         # Algorithm 1 lines 1-14
         with cl.region("fmmfft"):
-            ev_t, r = self.fmm.run(key_in=key_s, key_out=key_t, staged=True)
+            ev_t, r = self.fmm.run(key_in=key_s, key_out=key_t, staged=True,
+                                   after=after)
         self._r = r
 
         # Relayout T (P, nb_loc, ML) -> A (M/G, P): free at the timing level
@@ -138,6 +170,7 @@ class FmmFftDistributed:
                 load_callback=self._post_callback,
                 after=ev_t,
                 staged=True,
+                barrier=barrier,
             )
         if cl.execute:
             return np.asarray(out).reshape(plan.N)

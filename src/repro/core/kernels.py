@@ -40,18 +40,20 @@ def post_process(T: np.ndarray, r: np.ndarray, M: int, P: int) -> np.ndarray:
     Parameters
     ----------
     T:
-        (P, M) array: row 0 is the p = 0 passthrough, rows 1.. are the
-        FMM outputs (the cotangent part).
+        (P, M) array — row 0 is the p = 0 passthrough, rows 1.. are the
+        FMM outputs (the cotangent part) — or (..., P, M) with leading
+        batch axes (a stack of independent problems).
     r:
-        (P-1,) reduction vector ``r[p-1] = sum_m S[p, m]``.
+        (P-1,) reduction vector ``r[p-1] = sum_m S[p, m]``, or
+        (..., P-1) matching T's leading axes.
     """
     T = np.asarray(T)
     r = np.asarray(r)
-    if T.shape[0] != P or r.shape != (P - 1,):
+    if T.ndim < 2 or T.shape[-2] != P or r.shape != (*T.shape[:-2], P - 1):
         raise ParameterError(
             f"shape mismatch: T {T.shape}, r {r.shape} for P={P}"
         )
     rho = rho_factors(P, M)
     out = np.array(T, dtype=np.result_type(T.dtype, np.complex64))
-    out[1:] = rho[:, None] * (T[1:] + 1j * r[:, None])
+    out[..., 1:, :] = rho[:, None] * (T[..., 1:, :] + 1j * r[..., :, None])
     return out

@@ -108,6 +108,19 @@ class FmmFftPlan:
         return cls(N=N, M=M, P=P, ML=ML, L=L, B=B, Q=Q, G=G, dtype=np.dtype(dt),
                    operators=ops)
 
+    def plan_key(self) -> tuple:
+        """Stable, hashable configuration key.
+
+        Two plans with equal keys produce identical schedules and
+        numerics; use this wherever plans are compared or cached
+        (dataclass equality drags the numpy operator arrays into the
+        comparison, and an operator-less plan would never equal its
+        operator-ready twin).  M and L are derived, so the key carries
+        only the defining tuple.
+        """
+        return ("fmmfft", self.N, self.P, self.ML, self.B, self.Q, self.G,
+                self.dtype.name)
+
     @property
     def C(self) -> int:
         """The paper's C factor (2: all plans work in complex)."""

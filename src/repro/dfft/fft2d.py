@@ -53,6 +53,11 @@ class Distributed2DFFT:
     comm_algorithm:
         Collective algorithm for the transpose (see :mod:`repro.comm`):
         ``"bulk"`` is the legacy flat model, ``"auto"`` the selector.
+    batch:
+        Stacked-problem count (timing-only cost model): per-stage data
+        flops, memory traffic, and transpose bytes scale by ``batch``
+        while the launch and collective counts stay fixed — how the
+        serve batcher amortizes fixed costs over coalesced requests.
     """
 
     def __init__(
@@ -65,12 +70,20 @@ class Distributed2DFFT:
         backend: str = "auto",
         fuse_load: bool = True,
         comm_algorithm: str = "bulk",
+        batch: int = 1,
     ):
         check_pow2("M", M)
         check_pow2("P", P)
         G = cluster.G
         check_multiple("M", M, G, "G")
         check_multiple("P", P, G, "G")
+        if batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {batch}")
+        if batch > 1 and cluster.execute:
+            raise ParameterError(
+                "batch > 1 is a timing-only cost model; execute-mode numerics "
+                "run through core.single.fmmfft_batched"
+            )
         dt = np.dtype(dtype)
         if dt.kind != "c":
             raise ParameterError(f"dtype must be complex, got {dt!r}")
@@ -85,6 +98,7 @@ class Distributed2DFFT:
         self.backend = backend
         self.fuse_load = fuse_load
         self.comm_algorithm = comm_algorithm
+        self.batch = batch
         self._plan_M = LocalFFTPlan(M, dtype=dt, backend=backend)
         self._plan_P = LocalFFTPlan(P, dtype=dt, backend=backend)
 
@@ -95,6 +109,7 @@ class Distributed2DFFT:
         load_callback: Callable[[np.ndarray, int], np.ndarray] | None = None,
         after: list[Event] | None = None,
         staged: bool = False,
+        barrier: bool = True,
     ) -> np.ndarray | None:
         """Execute the 2D FFT.
 
@@ -114,6 +129,10 @@ class Distributed2DFFT:
             Per-device events the first FFT must wait on.
         staged:
             Input already resident on devices.
+        barrier:
+            True (default) ends with a cluster-wide barrier.  The serve
+            scheduler passes False so the next in-flight batch's comm
+            can start under this batch's trailing compute.
 
         Returns
         -------
@@ -121,9 +140,10 @@ class Distributed2DFFT:
         None in timing-only mode.
         """
         cl, M, P, G = self.cl, self.M, self.P, self.cl.G
+        k = self.batch
         lay_mp = BlockRows(rows=M, cols=P, G=G)
         itemsize = self.dtype.itemsize
-        local_elems = lay_mp.rows_local * P
+        local_elems = lay_mp.rows_local * P * k
 
         if cl.execute and not staged:
             if a is None:
@@ -162,7 +182,7 @@ class Distributed2DFFT:
                     blk = load_callback(blk, g)
                 c.dev(g)[key] = self._plan_P.forward(blk, axis=1)
 
-        rows_chunk = lay_mp.rows_local / self.chunks
+        rows_chunk = lay_mp.rows_local / self.chunks * k
         flops = fft_flops(P, batch=rows_chunk)
         if load_callback is not None and self.fuse_load:
             flops += 8.0 * P * rows_chunk
@@ -190,7 +210,7 @@ class Distributed2DFFT:
             evs2 = distributed_transpose(
                 cl, key, key, lay_mp, self.dtype, name="fft2d.transpose",
                 after_chunks=chunk_evs, chunks=self.chunks,
-                algorithm=self.comm_algorithm,
+                algorithm=self.comm_algorithm, batch=k,
             )
 
         # (c) P local FFTs of size M
@@ -201,8 +221,8 @@ class Distributed2DFFT:
                 blk = np.asarray(c.dev(g)[key]).reshape(lay_pm.rows_local, M)
                 c.dev(g)[key] = self._plan_M.forward(blk, axis=1)
 
-        flops_m = fft_flops(M, batch=lay_pm.rows_local)
-        mops_m = fft_mops(M, batch=lay_pm.rows_local, itemsize=itemsize) / fft_small_n_efficiency(M)
+        flops_m = fft_flops(M, batch=lay_pm.rows_local * k)
+        mops_m = fft_mops(M, batch=lay_pm.rows_local * k, itemsize=itemsize) / fft_small_n_efficiency(M)
         with cl.region("fft2d"), cl.region("fftM"):
             for g in range(G):
                 cl.launch(
@@ -211,7 +231,8 @@ class Distributed2DFFT:
                     fn=fft_m_fn if g == 0 else None,
                     reads=[key], writes=[key],
                 )
-        cl.barrier()
+        if barrier:
+            cl.barrier()
         if cl.execute:
             return np.vstack(
                 [np.asarray(cl.dev(g)[key]).reshape(lay_pm.rows_local, M) for g in range(G)]

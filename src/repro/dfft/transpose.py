@@ -50,6 +50,7 @@ def distributed_transpose(
     after_chunks: Sequence[Sequence[Event]] | None = None,
     chunks: int = 1,
     algorithm: str = "bulk",
+    batch: int = 1,
 ) -> list[Event]:
     """Transpose a block-row distributed matrix; returns per-device events.
 
@@ -75,17 +76,22 @@ def distributed_transpose(
         Collective algorithm (see :mod:`repro.comm`): ``"bulk"`` is the
         legacy flat model, ``"auto"`` picks the cheapest message plan
         for this topology and payload.
+    batch:
+        Stacked-problem count (timing-only): scales the bytes moved by
+        the all-to-all and the local reorder, one collective either way.
     """
     if cl.G != layout.G:
         raise ParameterError(f"cluster G={cl.G} != layout G={layout.G}")
     if chunks < 1:
         raise ParameterError(f"chunks must be >= 1, got {chunks}")
+    if batch < 1:
+        raise ParameterError(f"batch must be >= 1, got {batch}")
     if after_chunks is not None and len(after_chunks) != chunks:
         raise ParameterError(
             f"after_chunks has {len(after_chunks)} entries for {chunks} chunks"
         )
     itemsize = np.dtype(dtype).itemsize
-    sent = layout.alltoall_bytes_sent(itemsize)
+    sent = layout.alltoall_bytes_sent(itemsize) * batch
 
     # Real data moves once, with the first op issued (orchestration is
     # sequential, so the data is complete by the time any fn runs).
@@ -107,7 +113,7 @@ def distributed_transpose(
     # Local diagonal sub-block still needs an on-device reorder
     # (read + write of local_bytes / G); on G == 1 this is the whole
     # transpose and carries the full local cost.
-    local_bytes = layout.local_bytes(itemsize)
+    local_bytes = layout.local_bytes(itemsize) * batch
     reorder = 2.0 * (local_bytes if cl.G == 1 else local_bytes / cl.G)
     out: list[Event] = []
     for g in range(cl.G):

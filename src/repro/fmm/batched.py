@@ -47,7 +47,7 @@ class BatchedFMM:
 
     def s2m(self, S: np.ndarray) -> np.ndarray:
         """Leaf multipoles: ``M^L[pi, b, q] = sum_m S2M[q, m] S[pi+1, b, m]``."""
-        return S[1:] @ self.ops.s2m.T
+        return S[..., 1:, :, :] @ self.ops.s2m.T
 
     def s2t(self, S: np.ndarray) -> np.ndarray:
         """Near field: the interleaved, overlapped Toeplitz convolution.
@@ -55,53 +55,54 @@ class BatchedFMM:
         ``T[pi, b, i] = sum_j' K[pi, i, j'] S_halo[pi, b, j']`` with the
         halo triple [b-1, b, b+1] built cyclically.
         """
+        Sp = S[..., 1:, :, :]
         Sh = np.concatenate(
-            [np.roll(S[1:], 1, axis=1), S[1:], np.roll(S[1:], -1, axis=1)], axis=2
-        )  # (P-1, nb, 3 ML)
+            [np.roll(Sp, 1, axis=-2), Sp, np.roll(Sp, -1, axis=-2)], axis=-1
+        )  # (..., P-1, nb, 3 ML)
         return Sh @ self.ops.s2t.transpose(0, 2, 1)
 
     def m2m(self, child: np.ndarray) -> np.ndarray:
         """One upward level: siblings flattened then one batched GEMM."""
-        Pm1, nb2, Q = child.shape
-        flat = child.reshape(Pm1, nb2 // 2, 2 * Q)
+        nb2, Q = child.shape[-2:]
+        flat = child.reshape(*child.shape[:-2], nb2 // 2, 2 * Q)
         return flat @ self.ops.m2m.T
 
     def m2l_level(self, level: int, Mexp: np.ndarray) -> np.ndarray:
         """Cousin interactions at a hierarchical level (3 per box)."""
         K = self.ops.m2l_level[level]  # (P-1, 2, 3, Q, Q)
-        Pm1, nb, Q = Mexp.shape
+        nb = Mexp.shape[-2]
         loc = np.zeros_like(Mexp)
         b = np.arange(nb)
         for parity, offsets in ((0, COUSINS_EVEN), (1, COUSINS_ODD)):
             targets = b[parity::2]
             for si, s in enumerate(offsets):
                 src = (targets + s) % nb
-                loc[:, targets, :] += np.matmul(
-                    Mexp[:, src, :], K[:, parity, si].transpose(0, 2, 1)
+                loc[..., targets, :] += np.matmul(
+                    Mexp[..., src, :], K[:, parity, si].transpose(0, 2, 1)
                 )
         return loc
 
     def m2l_base(self, MexpB: np.ndarray) -> np.ndarray:
         """Dense base-level interactions: every non-neighbour box."""
         K = self.ops.m2l_base  # (P-1, nS, Q, Q)
-        Pm1, nb, Q = MexpB.shape
+        nb = MexpB.shape[-2]
         loc = np.zeros_like(MexpB)
         b = np.arange(nb)
         for si, s in enumerate(base_offsets(self.ops.B)):
             src = (b + s) % nb
-            loc += np.matmul(MexpB[:, src, :], K[:, si].transpose(0, 2, 1))
+            loc += np.matmul(MexpB[..., src, :], K[:, si].transpose(0, 2, 1))
         return loc
 
     def reduce(self, MexpB: np.ndarray) -> np.ndarray:
         """``r[pi] = sum_{q,b} M^B[pi, q, b]`` — valid because S2M/M2M
         columns sum to one (Section 4.8)."""
-        return MexpB.sum(axis=(1, 2))
+        return MexpB.sum(axis=(-2, -1))
 
     def l2l(self, parent: np.ndarray) -> np.ndarray:
         """One downward level: evaluate parents at both children's nodes."""
-        Pm1, nb, Q = parent.shape
-        pair = parent @ self.ops.m2m  # (P-1, nb, 2Q)
-        return pair.reshape(Pm1, 2 * nb, Q)
+        nb, Q = parent.shape[-2:]
+        pair = parent @ self.ops.m2m  # (..., nb, 2Q)
+        return pair.reshape(*parent.shape[:-2], 2 * nb, Q)
 
     def l2t(self, locL: np.ndarray) -> np.ndarray:
         """Evaluate leaf local expansions at the targets."""
@@ -115,28 +116,32 @@ class BatchedFMM:
         Parameters
         ----------
         S:
-            (P, M) array (any real/complex dtype).
+            (P, M) array (any real/complex dtype), or (..., P, M) with
+            leading batch axes — a stack of independent problems sharing
+            one operator bundle, applied as one broadcasted contraction
+            per stage (bit-identical to applying each slice alone).
 
         Returns
         -------
         (T, r):
-            T of shape (P, M) and the reduction vector r of shape (P-1,)
-            with ``r[p-1] = sum_m S[p, m]``.
+            T of shape (..., P, M) and the reduction vector r of shape
+            (..., P-1) with ``r[..., p-1] = sum_m S[..., p, m]``.
         """
         o = self.ops
         P, M, ML, nb = o.P, o.M, o.ML, o.tree.num_leaves
         S = np.asarray(S)
-        if S.shape != (P, M):
-            raise ParameterError(f"S must have shape ({P}, {M}), got {S.shape}")
-        Sb = S.reshape(P, nb, ML)
+        if S.shape[-2:] != (P, M):
+            raise ParameterError(f"S must have shape (..., {P}, {M}), got {S.shape}")
+        lead = S.shape[:-2]
+        Sb = S.reshape(*lead, P, nb, ML)
 
         Mexp = {o.L: self.s2m(Sb)}
         for ell in o.tree.levels_m2m():
             Mexp[ell] = self.m2m(Mexp[ell + 1])
 
-        T = np.empty((P, nb, ML), dtype=np.result_type(S.dtype, o.real_dtype))
-        T[0] = Sb[0]
-        T[1:] = self.s2t(Sb)
+        T = np.empty((*lead, P, nb, ML), dtype=np.result_type(S.dtype, o.real_dtype))
+        T[..., 0, :, :] = Sb[..., 0, :, :]
+        T[..., 1:, :, :] = self.s2t(Sb)
 
         loc = {ell: self.m2l_level(ell, Mexp[ell]) for ell in o.tree.levels_m2l()}
         loc[o.B] = self.m2l_base(Mexp[o.B]) + loc.get(o.B, 0.0)
@@ -144,5 +149,5 @@ class BatchedFMM:
 
         for ell in o.tree.levels_l2l():
             loc[ell + 1] = loc[ell + 1] + self.l2l(loc[ell])
-        T[1:] += self.l2t(loc[o.L])
-        return T.reshape(P, M), r
+        T[..., 1:, :, :] += self.l2t(loc[o.L])
+        return T.reshape(*lead, P, M), r

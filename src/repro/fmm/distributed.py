@@ -44,6 +44,18 @@ class DistributedFMM:
         The machine to run on.
     dtype:
         Input/output dtype (sets the C factor and byte widths).
+    ns:
+        Buffer namespace: every device buffer this executor touches is
+        named ``{ns}.<suffix>`` (default ``"fmm"``, the historical
+        names).  Concurrent in-flight executions (the serve scheduler's
+        interleaved batches) use distinct namespaces so the hazard
+        sanitizer can prove them independent.
+    batch:
+        Number of stacked problems per stage launch (timing-only).  The
+        serve batcher coalesces compatible transforms: data flops,
+        memory traffic, and comm bytes scale by ``batch`` while launch
+        count and operator reads do not — the BatchedGEMM amortization
+        the paper's pipeline is shaped for.
     """
 
     def __init__(
@@ -53,6 +65,8 @@ class DistributedFMM:
         dtype="complex128",
         fuse_m2l_l2l: bool = False,
         comm_algorithm: str = "bulk",
+        ns: str = "fmm",
+        batch: int = 1,
     ):
         """``fuse_m2l_l2l`` enables the Section 5.3 fusion: each level's
         M2L and the L2L feeding it run as one kernel, saving one write
@@ -69,14 +83,27 @@ class DistributedFMM:
             raise ParameterError(
                 "execute-mode clusters need full FmmOperators, got geometry only"
             )
+        if batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {batch}")
+        if batch > 1 and cluster.execute:
+            raise ParameterError(
+                "batch > 1 is a timing-only cost model; execute-mode numerics "
+                "run through core.single.fmmfft_batched"
+            )
         self.ops = operators
         self.cl = cluster
         self.dtype = np.dtype(dtype)
         self.fuse_m2l_l2l = fuse_m2l_l2l
         self.comm_algorithm = comm_algorithm
+        self.ns = ns
+        self.batch = batch
         self.C = c_factor(self.dtype)
         self.rsize = np.dtype(real_dtype_for(self.dtype)).itemsize
         self.csize = self.C * self.rsize  # bytes per input element
+
+    def _buf(self, suffix: str) -> str:
+        """Namespaced device buffer name."""
+        return f"{self.ns}.{suffix}"
 
     # -- cost helpers -----------------------------------------------------
 
@@ -97,16 +124,18 @@ class DistributedFMM:
 
     # -- data staging ------------------------------------------------------
 
-    def scatter(self, S: np.ndarray, key: str = "fmm.S") -> None:
+    def scatter(self, S: np.ndarray, key: str | None = None) -> None:
         """Place each device's leaf-box slice of S (shape (P, M))."""
+        key = self._buf("S") if key is None else key
         o = self.ops
         Sb = np.asarray(S, dtype=self.dtype).reshape(o.P, o.tree.num_leaves, o.ML)
         for g in range(self.cl.G):
             b0, b1 = o.tree.box_range(o.L, g)
             self.cl.dev(g)[key] = Sb[:, b0:b1, :].copy()
 
-    def gather(self, key: str = "fmm.T") -> np.ndarray:
+    def gather(self, key: str | None = None) -> np.ndarray:
         """Reassemble the (P, M) output from per-device box slices."""
+        key = self._buf("T") if key is None else key
         o = self.ops
         parts = [np.asarray(self.cl.dev(g)[key]) for g in range(self.cl.G)]
         return np.concatenate(parts, axis=1).reshape(o.P, o.M)
@@ -116,11 +145,16 @@ class DistributedFMM:
     def run(
         self,
         S: np.ndarray | None = None,
-        key_in: str = "fmm.S",
-        key_out: str = "fmm.T",
+        key_in: str | None = None,
+        key_out: str | None = None,
         staged: bool = False,
+        after: list[Event] | None = None,
     ) -> tuple[list[Event], np.ndarray | None]:
         """Execute Algorithm 1 lines 1-14 (S2M .. L2T).
+
+        ``after`` (optional) gates the input-consuming stages (S2M and
+        the S halo) — one event for all devices or one per device; the
+        serve scheduler uses it to model request release times.
 
         Returns ``(events, r)``: per-device completion events for the T
         tensor (so the 2D FFT can chain off them) and the replicated
@@ -132,6 +166,19 @@ class DistributedFMM:
         G, P, Q, ML = cl.G, o.P, o.Q, o.ML
         L, B = o.L, o.B
         nb_loc = o.tree.boxes_local(L)
+        k = self.batch
+        key_in = self._buf("S") if key_in is None else key_in
+        key_out = self._buf("T") if key_out is None else key_out
+        if after is None:
+            rel = [None] * G
+        elif len(after) == G:
+            rel = list(after)
+        elif len(after) == 1:
+            rel = list(after) * G
+        else:
+            raise ParameterError(
+                f"after must have 1 or G={G} events, got {len(after)}"
+            )
 
         if cl.execute and not staged:
             if S is None:
@@ -139,34 +186,38 @@ class DistributedFMM:
             self.scatter(S, key_in)
 
         # ---- line 1: S2M (one BatchedGEMM per device) --------------------
-        flops, mops = self._gemm_cost(Q, nb_loc, ML, P - 1)
+        flops, mops = self._gemm_cost(Q, nb_loc, ML, (P - 1) * k)
         with cl.region("fmm"), cl.region("S2M"):
             ev_s2m = [
                 cl.launch(
                     g, "S2M", "batched_gemm", flops, mops, self.dtype,
+                    after=[rel[g]] if rel[g] is not None else (),
                     fn=(lambda c: self._do_s2m(key_in)) if g == 0 else None,
-                    reads=[key_in], writes=[f"fmm.M{L}"],
+                    reads=[key_in], writes=[self._buf(f"M{L}")],
                 )
                 for g in range(G)
             ]
 
         # ---- line 2: COMM S (halo width 1), overlapped with S2M ----------
-        halo_bytes = (P - 1) * ML * self.csize
+        halo_bytes = (P - 1) * ML * self.csize * k
         with cl.region("fmm"), cl.region("halo-S"):
-            ev_shalo = self._halo_exchange("S", key_in, 1, halo_bytes, "COMM-S")
+            ev_shalo = self._halo_exchange(
+                "S", key_in, 1, halo_bytes, "COMM-S",
+                after=rel if after is not None else None,
+            )
 
         # ---- line 3: S2T after the S halo ---------------------------------
-        flops = 6.0 * self.C * ML * ML * nb_loc * (P - 1)
+        flops = 6.0 * self.C * ML * ML * nb_loc * (P - 1) * k
         # operators generated on the fly (Section 5.3): traffic is the
         # halo-extended read of S plus the write of T.
-        mops = (nb_loc + 2) * ML * P * self.csize + nb_loc * ML * P * self.csize
+        mops = ((nb_loc + 2) * ML * P * self.csize + nb_loc * ML * P * self.csize) * k
         with cl.region("fmm"), cl.region("S2T"):
             ev_s2t = [
                 cl.launch(
                     g, "S2T", "custom", flops, mops, self.dtype,
                     after=[ev_shalo[g], ],
                     fn=(lambda c: self._do_s2t(key_in, key_out)) if g == 0 else None,
-                    reads=[key_in, "fmm.halo.S"], writes=[key_out],
+                    reads=[key_in, self._buf("halo.S")], writes=[key_out],
                 )
                 for g in range(G)
             ]
@@ -177,13 +228,13 @@ class DistributedFMM:
         with cl.region("fmm"), cl.region("upward"):
             for ell in o.tree.levels_m2m():
                 nbl = o.tree.boxes_local(ell)
-                flops, mops = self._gemm_cost(Q, nbl, 2 * Q, P - 1)
+                flops, mops = self._gemm_cost(Q, nbl, 2 * Q, (P - 1) * k)
                 ev_m = [
                     cl.launch(
                         g, f"M2M-{ell}", "batched_gemm", flops, mops, self.dtype,
                         after=[ev_m[g]],
                         fn=(lambda c, e=ell: self._do_m2m(e)) if g == 0 else None,
-                        reads=[f"fmm.M{ell + 1}"], writes=[f"fmm.M{ell}"],
+                        reads=[self._buf(f"M{ell + 1}")], writes=[self._buf(f"M{ell}")],
                     )
                     for g in range(G)
                 ]
@@ -195,60 +246,60 @@ class DistributedFMM:
         with cl.region("fmm"), cl.region("m2l"):
             for ell in o.tree.levels_m2l():
                 nbl = o.tree.boxes_local(ell)
-                mh_bytes = 2 * (P - 1) * Q * self.csize  # two boxes per side
+                mh_bytes = 2 * (P - 1) * Q * self.csize * k  # two boxes per side
                 ev_mh = self._halo_exchange(f"M{ell}", None, 2, mh_bytes, f"COMM-M{ell}",
                                             level=ell, after=ev_m_level[ell])
                 ev_mh_level[ell] = ev_mh
                 if self.fuse_m2l_l2l:
                     continue  # M2L runs fused with L2L in the downward pass
-                flops = 6.0 * self.C * nbl * (P - 1) * Q * Q
-                mops = ((nbl + 4) * Q + nbl * Q) * (P - 1) * self.csize
+                flops = 6.0 * self.C * nbl * (P - 1) * Q * Q * k
+                mops = ((nbl + 4) * Q + nbl * Q) * (P - 1) * self.csize * k
                 ev_loc[ell] = [
                     cl.launch(
                         g, f"M2L-{ell}", "custom", flops, mops, self.dtype,
                         after=[ev_mh[g]],
                         fn=(lambda c, e=ell: self._do_m2l_level(e)) if g == 0 else None,
-                        reads=[f"fmm.M{ell}", f"fmm.halo.M{ell}"],
-                        writes=[f"fmm.L{ell}"],
+                        reads=[self._buf(f"M{ell}"), self._buf(f"halo.M{ell}")],
+                        writes=[self._buf(f"L{ell}")],
                     )
                     for g in range(G)
                 ]
 
         with cl.region("fmm"), cl.region("base"):
             # ---- line 9: all-to-all gather of base multipoles ---------------
-            base_bytes = (P - 1) * o.tree.boxes_local(B) * Q * self.csize
+            base_bytes = (P - 1) * o.tree.boxes_local(B) * Q * self.csize * k
             ev_gather = comm.allgather(
                 cl, base_bytes, "COMM-MB",
                 after=[ev_m[g] for g in range(G)] if G > 1 else ev_m,
                 fn=lambda c: self._do_gather_base(),
-                reads=[f"fmm.M{B}"], writes=["fmm.MB"],
+                reads=[self._buf(f"M{B}")], writes=[self._buf("MB")],
                 algorithm=self.comm_algorithm,
             )
 
             # ---- line 10: dense base-level M2L ------------------------------
             nS = (1 << B) - 3
             nbB_loc = o.tree.boxes_local(B)
-            flops = 2.0 * self.C * nbB_loc * nS * (P - 1) * Q * Q
-            mops = ((1 << B) * Q + nbB_loc * Q) * (P - 1) * self.csize
+            flops = 2.0 * self.C * nbB_loc * nS * (P - 1) * Q * Q * k
+            mops = ((1 << B) * Q + nbB_loc * Q) * (P - 1) * self.csize * k
             ev_base = [
                 cl.launch(
                     g, "M2L-B", "custom", flops, mops, self.dtype,
                     after=[ev_gather[min(g, len(ev_gather) - 1)]],
                     fn=(lambda c: self._do_m2l_base()) if g == 0 else None,
-                    reads=["fmm.MB"], writes=[f"fmm.L{B}"],
+                    reads=[self._buf("MB")], writes=[self._buf(f"L{B}")],
                 )
                 for g in range(G)
             ]
 
             # ---- line 11: REDUCE (one GEMV on the gathered base data) -------
-            flops = self.C * (1 << B) * (P - 1) * Q
-            mops = (1 << B) * (P - 1) * Q * self.csize + (P - 1) * self.csize
+            flops = self.C * (1 << B) * (P - 1) * Q * k
+            mops = ((1 << B) * (P - 1) * Q * self.csize + (P - 1) * self.csize) * k
             ev_red = [
                 cl.launch(
                     g, "REDUCE", "gemv", flops, mops, self.dtype,
                     after=[ev_gather[min(g, len(ev_gather) - 1)]],
                     fn=(lambda c: self._do_reduce()) if g == 0 else None,
-                    reads=["fmm.MB"], writes=["fmm.r"],
+                    reads=[self._buf("MB")], writes=[self._buf("r")],
                 )
                 for g in range(G)
             ]
@@ -258,14 +309,14 @@ class DistributedFMM:
         with cl.region("fmm"), cl.region("downward"):
             for ell in o.tree.levels_l2l():
                 nbl = o.tree.boxes_local(ell)
-                flops, mops = self._gemm_cost(2 * Q, nbl, Q, P - 1)
+                flops, mops = self._gemm_cost(2 * Q, nbl, Q, (P - 1) * k)
                 if self.fuse_m2l_l2l:
                     # one kernel: M2L-(ell+1) accumulated with L2L-(ell);
                     # saves one write + one read of the child L data.
                     nbl1 = o.tree.boxes_local(ell + 1)
-                    flops += 6.0 * self.C * nbl1 * (P - 1) * Q * Q
-                    mops += ((nbl1 + 4) * Q + nbl1 * Q) * (P - 1) * self.csize
-                    mops -= 2.0 * nbl1 * Q * (P - 1) * self.csize
+                    flops += 6.0 * self.C * nbl1 * (P - 1) * Q * Q * k
+                    mops += ((nbl1 + 4) * Q + nbl1 * Q) * (P - 1) * self.csize * k
+                    mops -= 2.0 * nbl1 * Q * (P - 1) * self.csize * k
                     waits = [
                         max(ev_l[g], ev_mh_level[ell + 1][g], key=lambda e: e.time)
                         for g in range(G)
@@ -275,9 +326,9 @@ class DistributedFMM:
                             g, f"M2L+L2L-{ell + 1}", "custom", flops, mops, self.dtype,
                             after=[waits[g]],
                             fn=(lambda c, e=ell: self._do_fused_m2l_l2l(e)) if g == 0 else None,
-                            reads=[f"fmm.M{ell + 1}", f"fmm.halo.M{ell + 1}",
-                                   f"fmm.L{ell}"],
-                            writes=[f"fmm.L{ell + 1}"],
+                            reads=[self._buf(f"M{ell + 1}"), self._buf(f"halo.M{ell + 1}"),
+                                   self._buf(f"L{ell}")],
+                            writes=[self._buf(f"L{ell + 1}")],
                         )
                         for g in range(G)
                     ]
@@ -291,22 +342,22 @@ class DistributedFMM:
                         g, f"L2L-{ell}", "batched_gemm", flops, mops, self.dtype,
                         after=[waits[g]],
                         fn=(lambda c, e=ell: self._do_l2l(e)) if g == 0 else None,
-                        reads=[f"fmm.L{ell}", f"fmm.L{ell + 1}"],
-                        writes=[f"fmm.L{ell + 1}"],
+                        reads=[self._buf(f"L{ell}"), self._buf(f"L{ell + 1}")],
+                        writes=[self._buf(f"L{ell + 1}")],
                     )
                     for g in range(G)
                 ]
 
         # ---- line 14: L2T (accumulate into T) ----------------------------------
-        flops, mops = self._gemm_cost(ML, nb_loc, Q, P - 1)
-        mops += nb_loc * ML * (P - 1) * self.csize  # read T for accumulation
+        flops, mops = self._gemm_cost(ML, nb_loc, Q, (P - 1) * k)
+        mops += nb_loc * ML * (P - 1) * self.csize * k  # read T for accumulation
         with cl.region("fmm"), cl.region("L2T"):
             ev_t = [
                 cl.launch(
                     g, "L2T", "batched_gemm", flops, mops, self.dtype,
                     after=[ev_l[g], ev_s2t[g]],
                     fn=(lambda c: self._do_l2t(key_out)) if g == 0 else None,
-                    reads=[f"fmm.L{L}", key_out], writes=[key_out],
+                    reads=[self._buf(f"L{L}"), key_out], writes=[key_out],
                 )
                 for g in range(G)
             ]
@@ -339,9 +390,9 @@ class DistributedFMM:
         cl = self.cl
         if cl.execute:
             self._stash_halo(what, key, width, level)
-        src_buf = key if key is not None else f"fmm.M{level}"
+        src_buf = key if key is not None else self._buf(f"M{level}")
         return comm.halo_exchange(
-            cl, nbytes, name, src_buf, f"fmm.halo.{what}", after=after,
+            cl, nbytes, name, src_buf, self._buf(f"halo.{what}"), after=after,
         )
 
     def _stash_halo(self, what: str, key: str | None, width: int, level: int | None) -> None:

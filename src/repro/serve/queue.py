@@ -1,0 +1,100 @@
+"""Admission-controlled bounded request queue with backpressure.
+
+The service's front door: arrivals are admitted while the queue has
+room and shed (rejected, counted) once it is full — the backpressure
+signal an open-loop driver observes as its offered load exceeds
+capacity.  Scheduling order is deadline-class priority (interactive
+ahead of batch), FIFO within a class; the batcher drains compatible
+groups through :meth:`AdmissionQueue.take`.
+
+Queue-depth samples are recorded at every state change so the stats
+layer can report depth percentiles and the Perfetto exporter can draw
+the depth counter track.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.serve.request import DEADLINE_CLASSES, TransformRequest
+from repro.util.validation import ParameterError
+
+
+class AdmissionQueue:
+    """Bounded FIFO with deadline-class priority and shed accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued (admitted, not yet issued) requests; arrivals
+        beyond it are shed.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: list[TransformRequest] = []
+        self._seq: dict[int, int] = {}   # rid -> admission sequence number
+        self._next_seq = 0
+        #: shed counts per deadline class
+        self.shed: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
+        #: admitted counts per deadline class
+        self.admitted: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
+        #: (time, depth) samples at every admission/drain
+        self.depth_samples: list[tuple[float, int]] = [(0.0, 0)]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def _sample(self, now: float) -> None:
+        self.depth_samples.append((now, len(self._items)))
+
+    def offer(self, req: TransformRequest, now: float) -> bool:
+        """Admit ``req`` at time ``now``; False means shed (queue full)."""
+        if len(self._items) >= self.capacity:
+            self.shed[req.deadline] += 1
+            return False
+        self._items.append(req)
+        self._seq[req.rid] = self._next_seq
+        self._next_seq += 1
+        self.admitted[req.deadline] += 1
+        self._sample(now)
+        return True
+
+    def _priority(self, req: TransformRequest) -> tuple:
+        return (DEADLINE_CLASSES.index(req.deadline), self._seq[req.rid])
+
+    def head(self) -> TransformRequest | None:
+        """The request the scheduler must serve next (None if empty)."""
+        if not self._items:
+            return None
+        return min(self._items, key=self._priority)
+
+    def take(
+        self,
+        now: float,
+        compatible: Callable[[TransformRequest], bool],
+        limit: int,
+    ) -> list[TransformRequest]:
+        """Drain up to ``limit`` requests compatible with the head.
+
+        The head request is always included; the rest are taken in
+        priority order among those for which ``compatible`` is true.
+        """
+        if limit < 1:
+            raise ParameterError(f"limit must be >= 1, got {limit}")
+        head = self.head()
+        if head is None:
+            return []
+        group = [r for r in self._items if compatible(r)]
+        group.sort(key=self._priority)
+        if head not in group:
+            group = [head] + group
+        group = group[:limit]
+        taken = set(id(r) for r in group)
+        self._items = [r for r in self._items if id(r) not in taken]
+        for r in group:
+            self._seq.pop(r.rid, None)
+        self._sample(now)
+        return group

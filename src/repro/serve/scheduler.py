@@ -1,0 +1,165 @@
+"""Discrete-event serving loop with interleaved in-flight batches.
+
+The scheduler owns simulated wall-clock time.  It admits arrivals into
+the queue, forms batches through the batcher whenever an issue slot is
+free, and launches each batch onto the *shared* virtual cluster:
+
+- every batch runs in its own buffer namespace (``serve.b<id>.*``), so
+  concurrent schedules touch provably disjoint buffers and the hazard
+  sanitizer can certify the interleaving;
+- a synthetic release :class:`~repro.machine.stream.Event` (``op=-1``,
+  so it adds no ghost wait edges) gates each batch's input-consuming
+  stages at ``issue_time + setup_time`` — plan search and operator
+  build are host-side costs the device timeline must respect;
+- batches are issued with ``barrier=False``, so batch B's early
+  communication (halo exchange, M2L broadcasts) overlaps batch A's
+  trailing compute on the in-order streams — cross-batch overlap on
+  top of the paper's within-transform overlap.
+
+With ``max_inflight=1`` the loop degrades to strict one-at-a-time
+serving (the baseline arm); the default 2 keeps one batch's comm under
+another's compute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distributed import FmmFftDistributed
+from repro.core.single import fmmfft_batched
+from repro.machine.cluster import VirtualCluster
+from repro.machine.stream import Event
+from repro.serve.batcher import Batch, Batcher
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import CompletedRequest, TransformRequest
+from repro.util.validation import ParameterError
+
+
+class ServeScheduler:
+    """Run an open-loop request trace to completion on one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Timing-only :class:`VirtualCluster` (execute mode is rejected —
+        batched numerics run host-side via
+        :func:`repro.core.single.fmmfft_batched` when
+        ``compute_outputs`` is set).
+    batcher:
+        Batch former (owns the plan cache).
+    queue:
+        Admission queue; None builds a default 64-slot queue.
+    max_inflight:
+        Concurrent in-flight batches on the cluster (>= 1).
+    compute_outputs:
+        Compute request payloads host-side with the batched kernel;
+        requires payloads on every request and a cache built with
+        ``build_operators=True``.  Outputs land in :attr:`outputs`.
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        batcher: Batcher,
+        queue: AdmissionQueue | None = None,
+        max_inflight: int = 2,
+        compute_outputs: bool = False,
+    ):
+        if cluster.execute:
+            raise ParameterError(
+                "serve scheduling is timing-only; use compute_outputs for numerics"
+            )
+        if cluster.G != batcher.cache.spec.num_devices:
+            raise ParameterError(
+                f"cluster G={cluster.G} != cache spec G="
+                f"{batcher.cache.spec.num_devices}"
+            )
+        if max_inflight < 1:
+            raise ParameterError(f"max_inflight must be >= 1, got {max_inflight}")
+        if compute_outputs and not batcher.cache.build_operators:
+            raise ParameterError(
+                "compute_outputs requires a PlanCache(build_operators=True)"
+            )
+        self.cluster = cluster
+        self.batcher = batcher
+        self.queue = queue if queue is not None else AdmissionQueue()
+        self.max_inflight = max_inflight
+        self.compute_outputs = compute_outputs
+        #: rid -> output vector (only with ``compute_outputs``)
+        self.outputs: dict[int, np.ndarray] = {}
+        #: per-batch telemetry: {bid, k, N, release, finish, setup_time}
+        self.batches: list[dict] = []
+        self.completed: list[CompletedRequest] = []
+
+    # -- one batch ----------------------------------------------------
+
+    def _issue(self, batch: Batch, now: float) -> float:
+        """Launch one batch on the cluster; returns its finish time."""
+        cl = self.cluster
+        release = now + batch.setup_time
+        rel = Event(time=release, label=f"serve.release.b{batch.bid}")
+        start_idx = len(cl.ledger)
+        with cl.region("serve"), cl.region(f"b{batch.bid}"):
+            exe = FmmFftDistributed(
+                batch.plan, cl,
+                comm_algorithm=batch.comm_algorithm,
+                ns=f"serve.b{batch.bid}", batch=batch.k,
+            )
+            exe.run(after=[rel], barrier=False)
+        recs = list(cl.ledger)[start_idx:]
+        finish = max((r.end for r in recs), default=release)
+        if self.compute_outputs:
+            host_plan = self.batcher.cache.host_plan_for(
+                batch.plan.N, batch.plan.dtype
+            )
+            xs = np.stack([np.asarray(r.x) for r in batch.requests])
+            ys = fmmfft_batched(xs, host_plan)
+            for j, r in enumerate(batch.requests):
+                self.outputs[r.rid] = ys[j]
+        self.batches.append(dict(
+            bid=batch.bid, k=batch.k, N=batch.plan.N, release=release,
+            finish=finish, setup_time=batch.setup_time,
+        ))
+        for r in batch.requests:
+            self.completed.append(CompletedRequest(
+                request=r, batch_id=batch.bid, batch_size=batch.k,
+                release=release, finish=finish,
+            ))
+        return finish
+
+    # -- the event loop -----------------------------------------------
+
+    def run(self, requests: list[TransformRequest]) -> list[CompletedRequest]:
+        """Serve a trace to completion; returns completions in finish order.
+
+        Shed requests (queue full at arrival) are counted on the queue
+        and never complete.  The trace is replay-deterministic: same
+        requests, same cluster spec, same cache state, same knobs →
+        bit-identical ledger.
+        """
+        if self.compute_outputs and any(r.x is None for r in requests):
+            raise ParameterError("compute_outputs requires payloads on every request")
+        pending = sorted(requests, key=lambda r: (r.arrival, r.rid))
+        inflight: list[float] = []          # finish times of issued batches
+        now, i = 0.0, 0
+        while True:
+            while i < len(pending) and pending[i].arrival <= now:
+                self.queue.offer(pending[i], now)
+                i += 1
+            inflight = [f for f in inflight if f > now]
+            while len(inflight) < self.max_inflight and len(self.queue):
+                batch = self.batcher.next_batch(self.queue, now)
+                inflight.append(self._issue(batch, now))
+            if i >= len(pending) and not len(self.queue) and not inflight:
+                break
+            horizon = list(inflight)
+            if i < len(pending):
+                horizon.append(pending[i].arrival)
+            now = min(t for t in horizon if t > now)
+        self.completed.sort(key=lambda c: (c.finish, c.request.rid))
+        return self.completed
+
+    @property
+    def wall_time(self) -> float:
+        """Last completion time of the serviced trace (0.0 if none ran)."""
+        return max((c.finish for c in self.completed), default=0.0)

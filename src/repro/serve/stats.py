@@ -1,0 +1,161 @@
+"""Serving telemetry: latency percentiles, throughput, cache hit rates.
+
+:func:`summarize` folds a finished :class:`ServeScheduler` into a
+:class:`ServeReport` — p50/p95/p99 latency overall and per deadline
+class, throughput, queue depth, shed counts, batch shape, and the plan/
+wisdom cache counters (whose ``searches`` field is the acceptance
+criterion's "zero autotune searches on a warm start").
+
+:func:`serve_trace_events` renders the same run as a Chrome-trace
+process — one X span per batch (release to finish) plus a queue-depth
+counter — that :func:`merge_serve_track` splices into a device trace
+from :func:`repro.obs.perfetto.build_trace`, so batch lifetimes sit in
+the same Perfetto timeline as the kernels and collectives they caused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.serve.request import DEADLINE_CLASSES
+from repro.serve.scheduler import ServeScheduler
+
+#: Chrome-trace pid for the serve track; device pids are 0..G-1 and real
+#: clusters top out at 8 devices, so 99 never collides.
+SERVE_PID = 99
+
+
+def _percentiles(xs: list[float]) -> dict[str, float]:
+    if not xs:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    arr = np.asarray(xs, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Aggregated outcome of one served trace (all times in seconds)."""
+
+    completed: int
+    shed: dict[str, int]
+    wall_time: float
+    throughput: float
+    latency: dict[str, float]
+    latency_by_class: dict[str, dict[str, float]]
+    queue_depth_max: int
+    queue_depth_mean: float
+    batches: int
+    mean_batch_size: float
+    plan_hit_rate: float
+    wisdom_hits: int
+    wisdom_misses: int
+    searches: int
+
+    def to_json(self) -> str:
+        """Serialize the report as indented JSON."""
+        return json.dumps(asdict(self), indent=1, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary (the CLI prints this)."""
+        lines = [
+            f"completed      {self.completed}  "
+            f"(shed {sum(self.shed.values())})",
+            f"wall time      {self.wall_time * 1e3:9.3f} ms",
+            f"throughput     {self.throughput:9.1f} req/s",
+            f"latency        p50 {self.latency['p50'] * 1e3:8.3f} ms   "
+            f"p95 {self.latency['p95'] * 1e3:8.3f} ms   "
+            f"p99 {self.latency['p99'] * 1e3:8.3f} ms",
+        ]
+        for cls in DEADLINE_CLASSES:
+            pct = self.latency_by_class[cls]
+            lines.append(
+                f"  {cls:<12} p50 {pct['p50'] * 1e3:8.3f} ms   "
+                f"p95 {pct['p95'] * 1e3:8.3f} ms   "
+                f"p99 {pct['p99'] * 1e3:8.3f} ms"
+            )
+        lines += [
+            f"queue depth    max {self.queue_depth_max}  "
+            f"mean {self.queue_depth_mean:.2f}",
+            f"batches        {self.batches}  "
+            f"(mean size {self.mean_batch_size:.2f})",
+            f"plan cache     hit rate {self.plan_hit_rate * 100.0:.1f}%",
+            f"wisdom         {self.wisdom_hits} hits / "
+            f"{self.wisdom_misses} misses, {self.searches} searches",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(sched: ServeScheduler) -> ServeReport:
+    """Fold a finished scheduler run into a :class:`ServeReport`."""
+    cache = sched.batcher.cache
+    lat = [c.latency for c in sched.completed]
+    by_class = {
+        cls: _percentiles(
+            [c.latency for c in sched.completed if c.request.deadline == cls]
+        )
+        for cls in DEADLINE_CLASSES
+    }
+    depths = [d for _, d in sched.queue.depth_samples]
+    ks = [b["k"] for b in sched.batches]
+    wall = sched.wall_time
+    return ServeReport(
+        completed=len(sched.completed),
+        shed=dict(sched.queue.shed),
+        wall_time=wall,
+        throughput=len(sched.completed) / wall if wall > 0 else 0.0,
+        latency=_percentiles(lat),
+        latency_by_class=by_class,
+        queue_depth_max=max(depths) if depths else 0,
+        queue_depth_mean=float(np.mean(depths)) if depths else 0.0,
+        batches=len(sched.batches),
+        mean_batch_size=float(np.mean(ks)) if ks else 0.0,
+        plan_hit_rate=cache.hit_rate,
+        wisdom_hits=cache.wisdom_hits,
+        wisdom_misses=cache.wisdom_misses,
+        searches=cache.searches,
+    )
+
+
+def serve_trace_events(sched: ServeScheduler) -> list[dict]:
+    """Chrome-trace events for the serve track (pid :data:`SERVE_PID`).
+
+    One metadata pair names the process/thread, each batch becomes an X
+    span over its device-occupancy window (release to finish), and every
+    queue-depth sample becomes a C counter point — all shapes that
+    :func:`repro.obs.perfetto.validate_trace` accepts.
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": SERVE_PID,
+         "args": {"name": "serve"}},
+        {"name": "thread_name", "ph": "M", "pid": SERVE_PID, "tid": 0,
+         "args": {"name": "batches"}},
+    ]
+    for b in sched.batches:
+        events.append({
+            "name": f"batch {b['bid']} (k={b['k']}, N={b['N']})",
+            "ph": "X", "pid": SERVE_PID, "tid": 0,
+            "ts": b["release"] * 1e6,
+            "dur": max(0.0, (b["finish"] - b["release"])) * 1e6,
+            "args": {"batch_size": b["k"], "N": b["N"],
+                     "setup_time_us": b["setup_time"] * 1e6},
+        })
+    for t, depth in sched.queue.depth_samples:
+        events.append({
+            "name": "queue depth", "ph": "C", "pid": SERVE_PID,
+            "ts": t * 1e6, "args": {"depth": depth},
+        })
+    return events
+
+
+def merge_serve_track(trace: dict, sched: ServeScheduler) -> dict:
+    """Splice the serve track into a device trace document, in place.
+
+    ``trace`` is a ``build_trace`` result; the same document is
+    returned so calls chain into ``save_trace``-style writers.
+    """
+    trace["traceEvents"] = list(trace["traceEvents"]) + serve_trace_events(sched)
+    return trace

@@ -148,3 +148,34 @@ def test_shipped_tree_is_clean():
     """The acceptance gate: the whole src tree lints clean."""
     root = os.path.join(os.path.dirname(__file__), os.pardir, "src")
     assert lint_paths([os.path.normpath(root)]) == []
+
+
+class TestServePlanCache:
+    CREATE = HDR + "plan = FmmFftPlan.create(N=16, P=4, ML=2, B=2, Q=4)\n"
+    CALL = HDR + "plan = FmmFftPlan(16, 4)\n"
+
+    def test_create_flagged_in_serve(self):
+        assert rules(self.CREATE, "src/repro/serve/scheduler.py") == [
+            "serve-plan-cache"
+        ]
+
+    def test_direct_construction_flagged_in_serve(self):
+        assert rules(self.CALL, "src/repro/serve/batcher.py") == [
+            "serve-plan-cache"
+        ]
+
+    def test_cache_module_exempt(self):
+        assert rules(self.CREATE, "src/repro/serve/cache.py") == []
+
+    def test_non_serve_paths_exempt(self):
+        assert rules(self.CREATE, "src/repro/core/api.py") == []
+        assert rules(self.CREATE, "src/repro/model/search.py") == []
+
+    def test_pragma_waives(self):
+        src = HDR + ("plan = FmmFftPlan.create(N=16)"
+                     "  # lint: allow-serve-plan-cache\n")
+        assert rules(src, "src/repro/serve/scheduler.py") == []
+
+    def test_unrelated_factory_ok(self):
+        src = HDR + "plan = PlanCacheFmmFftPlanish.create(N=16)\n"
+        assert rules(src, "src/repro/serve/scheduler.py") == []

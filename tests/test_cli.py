@@ -153,3 +153,53 @@ class TestCommands:
                    "--trace-out", str(t)])
         assert rc == 0
         assert validate_trace(json.loads(t.read_text())) == []
+
+
+class TestServeCommand:
+    ARGS = ["serve", "--system", "2xP100", "--requests", "8",
+            "--rate", "5000", "--sizes", "2^14"]
+
+    def test_serve_reports_percentiles(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        for token in ("p50", "p95", "p99", "throughput", "plan cache"):
+            assert token in out
+
+    def test_serve_wisdom_warm_start_skips_search(self, capsys, tmp_path):
+        import json
+
+        wisdom = str(tmp_path / "w.json")
+        j = str(tmp_path / "rep.json")
+        assert main(self.ARGS + ["--wisdom", wisdom]) == 0
+        cold = capsys.readouterr().out
+        assert "1 searches" in cold
+        assert main(self.ARGS + ["--wisdom", wisdom, "--json", j]) == 0
+        warm = capsys.readouterr().out
+        assert "0 searches" in warm
+        rep = json.loads((tmp_path / "rep.json").read_text())
+        assert rep["searches"] == 0 and rep["wisdom_misses"] == 0
+
+    def test_serve_sanitize_and_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_trace
+
+        t = tmp_path / "t.json"
+        assert main(self.ARGS + ["--sanitize", "--trace-out", str(t)]) == 0
+        out = capsys.readouterr().out
+        assert "hazard-free" in out
+        doc = json.loads(t.read_text())
+        assert validate_trace(doc) == []
+        assert any(e.get("args", {}).get("name") == "serve"
+                   for e in doc["traceEvents"])
+
+    def test_serve_no_batching(self, capsys):
+        assert main(self.ARGS + ["--no-batching"]) == 0
+        out = capsys.readouterr().out
+        assert "mean size 1.00" in out
+
+    def test_metrics_serve_pipeline(self, capsys):
+        assert main(["metrics", "--pipeline", "serve", "--system", "2xP100"]) == 0
+        out = capsys.readouterr().out
+        assert "serve latency / throughput" in out
+        assert "p99" in out and "serve/" in out  # regioned rollup too

@@ -73,3 +73,41 @@ class TestFourierTransform:
         np.testing.assert_allclose(
             fourier_transform(fourier_transform(x), inverse=True), x, atol=1e-9
         )
+
+
+class TestDefaultParamsPropertySweep:
+    """Edge-case sweep: every feasible (N, G) yields an admissible plan.
+
+    Large G / small N used to emit B > L or P not divisible by G; the
+    contract now is: either raise ParameterError up front, or return
+    parameters FmmFftPlan.create accepts.
+    """
+
+    @pytest.mark.parametrize("G", [1, 2, 4, 8, 16])
+    def test_admissible_or_explicit_rejection(self, G):
+        feasible = 0
+        for q in range(2, 21):
+            N = 1 << q
+            try:
+                d = default_params(N, G)
+            except ParameterError:
+                continue
+            plan = FmmFftPlan.create(N=N, G=G, build_operators=False, **d)
+            feasible += 1
+            assert plan.P % G == 0
+            assert (1 << plan.B) % G == 0
+            assert 2 <= plan.B <= plan.L
+            assert plan.ML << plan.L == plan.M
+        assert feasible > 0, f"no feasible size for G={G}"
+
+    def test_infeasible_small_n_large_g_raises(self):
+        with pytest.raises(ParameterError):
+            default_params(1 << 3, 16)
+
+    def test_rejects_non_pow2_g(self):
+        with pytest.raises(ParameterError):
+            default_params(1 << 12, 3)
+
+    def test_classic_sizes_unchanged(self):
+        # the regression pin: the historical defaults must not drift
+        assert default_params(1 << 20, 8) == dict(P=256, ML=64, B=3, Q=16)

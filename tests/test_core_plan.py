@@ -93,3 +93,36 @@ class TestAdmissibleParams:
         for params in admissible_params(1 << 14, G=4):
             assert (1 << params["B"]) % 4 == 0
             assert params["P"] % 4 == 0
+
+
+class TestPlanKey:
+    def test_key_fields(self):
+        p = FmmFftPlan.create(N=4096, P=8, ML=16, B=3, Q=16,
+                              build_operators=False)
+        assert p.plan_key() == ("fmmfft", 4096, 8, 16, 3, 16, 1, "complex128")
+
+    def test_equal_configs_share_a_key(self):
+        a = FmmFftPlan.create(N=4096, P=8, ML=16, B=3, Q=16,
+                              build_operators=False)
+        b = FmmFftPlan.create(N=4096, P=8, ML=16, B=3, Q=16)
+        assert a.plan_key() == b.plan_key()  # operators don't matter
+
+    def test_key_distinguishes_every_parameter(self):
+        base = dict(N=4096, P=8, ML=16, B=3, Q=16)
+        ref = FmmFftPlan.create(build_operators=False, **base).plan_key()
+        variants = [
+            dict(base, P=16), dict(base, ML=32), dict(base, B=2),
+            dict(base, Q=8), dict(base, dtype="complex64"),
+        ]
+        keys = {FmmFftPlan.create(build_operators=False, **v).plan_key()
+                for v in variants}
+        keys.add(FmmFftPlan.create(N=8192, P=8, ML=16, B=3, Q=16,
+                                   build_operators=False).plan_key())
+        keys.add(FmmFftPlan.create(G=2, build_operators=False,
+                                   **base).plan_key())
+        assert ref not in keys and len(keys) == 7
+
+    def test_key_is_hashable_dict_key(self):
+        p = FmmFftPlan.create(N=1024, P=4, ML=16, B=2, Q=8,
+                              build_operators=False)
+        assert {p.plan_key(): "v"}[p.plan_key()] == "v"

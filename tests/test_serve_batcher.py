@@ -1,0 +1,93 @@
+"""Continuous batching: compatibility keys, coalescing, setup charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.spec import p100_nvlink_node
+from repro.serve import AdmissionQueue, Batcher, PlanCache, TransformRequest
+from repro.util.validation import ParameterError
+
+N = 1 << 12
+
+
+def setup_pair(**kw):
+    cache = PlanCache(p100_nvlink_node(2), autotune=False)
+    return Batcher(cache, **kw), AdmissionQueue()
+
+
+def req(rid, N=N, deadline="batch"):
+    return TransformRequest(rid=rid, N=N, deadline=deadline)
+
+
+class TestCompatKey:
+    def test_full_tuple_shape(self):
+        b, _ = setup_pair()
+        key = b.compat_key(req(0))
+        assert key[0] == N and key[1] == "complex128" and key[6] == 2
+        assert len(key) == 8  # (N, dtype, P, ML, B, Q, G, comm_algorithm)
+
+    def test_same_config_same_key(self):
+        b, _ = setup_pair()
+        assert b.compat_key(req(0)) == b.compat_key(req(1))
+        assert b.compat_key(req(0)) != b.compat_key(req(2, N=2 * N))
+
+
+class TestBatching:
+    def test_coalesces_up_to_max_batch(self):
+        b, q = setup_pair(max_batch=4)
+        for i in range(6):
+            q.offer(req(i), 0.0)
+        batch = b.next_batch(q, 0.0)
+        assert batch.k == 4 and len(q) == 2
+        assert [r.rid for r in batch.requests] == [0, 1, 2, 3]
+
+    def test_only_compatible_ride_along(self):
+        b, q = setup_pair(max_batch=8)
+        q.offer(req(0, N=N), 0.0)
+        q.offer(req(1, N=2 * N), 0.0)
+        q.offer(req(2, N=N), 0.0)
+        batch = b.next_batch(q, 0.0)
+        assert [r.rid for r in batch.requests] == [0, 2]
+        assert b.next_batch(q, 0.1).requests[0].rid == 1
+
+    def test_batching_disabled_takes_one(self):
+        b, q = setup_pair(max_batch=8, batching=False)
+        for i in range(3):
+            q.offer(req(i), 0.0)
+        assert b.next_batch(q, 0.0).k == 1 and len(q) == 2
+
+    def test_interactive_head_defines_batch(self):
+        b, q = setup_pair(max_batch=8)
+        q.offer(req(0, N=2 * N, deadline="batch"), 0.0)
+        q.offer(req(1, N=N, deadline="interactive"), 0.0)
+        batch = b.next_batch(q, 0.0)
+        assert batch.requests[0].rid == 1 and batch.plan.N == N
+
+    def test_empty_queue_returns_none(self):
+        b, q = setup_pair()
+        assert b.next_batch(q, 0.0) is None
+
+    def test_setup_charged_once_per_configuration(self):
+        b, q = setup_pair()
+        q.offer(req(0), 0.0)
+        q.offer(req(1), 0.0)
+        first = b.next_batch(q, 0.0)
+        assert first.setup_time > 0.0  # cold resolve pays plan build
+        q.offer(req(2), 1.0)
+        second = b.next_batch(q, 1.0)
+        assert second.setup_time == 0.0 and second.plan is first.plan
+
+    def test_batch_ids_increment(self):
+        b, q = setup_pair()
+        for i in range(2):
+            q.offer(req(i), 0.0)
+        b0 = b.next_batch(q, 0.0)
+        q.offer(req(9), 1.0)
+        b1 = b.next_batch(q, 1.0)
+        assert (b0.bid, b1.bid) == (0, 1)
+        assert b.formed == [(0, 2, N), (1, 1, N)]
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(ParameterError):
+            setup_pair(max_batch=0)

@@ -1,0 +1,85 @@
+"""Serve telemetry: report numbers, rendering, and the Perfetto track."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import p100_nvlink_node
+from repro.obs import build_trace, validate_trace
+from repro.serve import (
+    AdmissionQueue,
+    Batcher,
+    PlanCache,
+    ServeScheduler,
+    merge_serve_track,
+    serve_trace_events,
+    summarize,
+    synthetic_workload,
+)
+from repro.serve.stats import SERVE_PID, _percentiles
+
+N = 1 << 12
+SPEC = p100_nvlink_node(2)
+
+
+@pytest.fixture(scope="module")
+def served():
+    cache = PlanCache(SPEC, autotune=False)
+    cl = VirtualCluster(SPEC, execute=False)
+    sched = ServeScheduler(cl, Batcher(cache, max_batch=4),
+                           queue=AdmissionQueue(capacity=64))
+    sched.run(synthetic_workload(12, rate=1e5, sizes={N: 1.0}, seed=3))
+    return cl, sched
+
+
+class TestPercentiles:
+    def test_known_values(self):
+        pct = _percentiles([1.0] * 99 + [101.0])
+        assert pct["p50"] == pytest.approx(1.0)
+        assert pct["p99"] > 1.0
+
+    def test_empty(self):
+        assert _percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+class TestReport:
+    def test_summary_numbers(self, served):
+        _, sched = served
+        rep = summarize(sched)
+        assert rep.completed == 12 and rep.batches == len(sched.batches)
+        assert rep.throughput == pytest.approx(12 / sched.wall_time)
+        assert 0.0 < rep.latency["p50"] <= rep.latency["p95"] <= rep.latency["p99"]
+        assert rep.mean_batch_size >= 1.0
+        assert rep.searches == 0  # autotune disabled in the fixture
+
+    def test_render_and_json(self, served):
+        _, sched = served
+        rep = summarize(sched)
+        text = rep.render()
+        for token in ("p50", "p95", "p99", "throughput", "wisdom", "batches"):
+            assert token in text
+        doc = json.loads(rep.to_json())
+        assert doc["completed"] == 12 and "latency_by_class" in doc
+
+
+class TestPerfettoTrack:
+    def test_events_validate_when_merged(self, served):
+        cl, sched = served
+        doc = merge_serve_track(build_trace(cl.ledger, SPEC), sched)
+        assert validate_trace(doc) == []
+
+    def test_track_shape(self, served):
+        _, sched = served
+        events = serve_trace_events(sched)
+        assert SPEC.num_devices <= SERVE_PID  # device pids never collide
+        spans = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(spans) == len(sched.batches)
+        assert len(counters) == len(sched.queue.depth_samples)
+        assert {e["name"] for e in metas} == {"process_name", "thread_name"}
+        assert all(e["pid"] == SERVE_PID for e in events)
+        assert all(e["dur"] >= 0 for e in spans)
