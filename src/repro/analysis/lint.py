@@ -1,6 +1,6 @@
 """Repo-specific AST lint: the numeric discipline the kernels rely on.
 
-Eight rules, each targeting a failure mode this codebase has actually to
+Nine rules, each targeting a failure mode this codebase has actually to
 guard against (run with ``python tools/lint.py src``):
 
 ``future-annotations``
@@ -45,6 +45,15 @@ guard against (run with ``python tools/lint.py src``):
     the wisdom store and falsifies the hit-rate the service reports.
     ``repro/serve/cache.py`` is the one sanctioned construction site.
 
+``fault-injection-site``
+    Synthetic faults originate only in :mod:`repro.faults` and are
+    consumed only by the machine/comm layers: pipelines and serving
+    code must not query fault outcomes (``.message_outcome`` /
+    ``.collective_outcome``) or construct ``CommFailure`` themselves.
+    A pipeline raising its own faults bypasses the injector's seeded
+    event stream, so the run stops being replay-deterministic and the
+    fault ledger stops being truthful.
+
 Any rule can be waived on one line with ``# lint: allow-<rule>``.
 """
 
@@ -79,6 +88,12 @@ SERVE_PATHS = ("repro/serve/",)
 
 #: the one serve module allowed to construct plans (the cache itself)
 SERVE_PLAN_ALLOWED = "repro/serve/cache.py"
+
+#: the only packages allowed to draw fault outcomes or raise CommFailure
+FAULT_RAISE_ALLOWED = ("repro/faults/", "repro/comm/", "repro/machine/")
+
+#: injector outcome queries covered by the fault-injection-site rule
+FAULT_OUTCOME_METHODS = ("message_outcome", "collective_outcome")
 
 _PRAGMA = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)")
 
@@ -130,6 +145,7 @@ class _Checker(ast.NodeVisitor):
         self.serve = (
             any(frag in p for frag in SERVE_PATHS) and SERVE_PLAN_ALLOWED not in p
         )
+        self.fault_raise_ok = any(frag in p for frag in FAULT_RAISE_ALLOWED)
         self._stmt: ast.stmt | None = None
 
     # -- plumbing ------------------------------------------------------
@@ -207,6 +223,25 @@ class _Checker(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        # synthetic faults originate only in repro.faults / comm / machine
+        if not self.fault_raise_ok:
+            if isinstance(func, ast.Name) and func.id == "CommFailure":
+                self._report(
+                    node, "fault-injection-site",
+                    "CommFailure constructed outside the fault/comm/machine "
+                    "layers -- synthetic faults must come from the seeded "
+                    "injector, or replay determinism is lost",
+                )
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in FAULT_OUTCOME_METHODS
+            ):
+                self._report(
+                    node, "fault-injection-site",
+                    f".{func.attr}() outside the fault/comm/machine layers "
+                    "-- only the comm layer may draw fault outcomes (each "
+                    "draw consumes the injector's seeded stream)",
+                )
         # serving code must get plans from the cache, not build them
         if self.serve and (
             (isinstance(func, ast.Name) and func.id == "FmmFftPlan")

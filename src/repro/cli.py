@@ -32,6 +32,11 @@ Commands
     Drive a synthetic open-loop workload through the batching transform
     service (:mod:`repro.serve`): Poisson arrivals, continuous batching,
     plan cache + persistent wisdom, latency percentiles.
+``chaos``
+    The serve workload under seeded fault injection (:mod:`repro.faults`):
+    link flaps/degrades, stragglers, transient message failures.  Reports
+    retry/shed accounting and can assert replay determinism
+    (``--replay-check``) and hazard freedom (``--sanitize``).
 ``tune``
     Build/extend a JSON tuning-wisdom file over a range of sizes.
 ``trace``
@@ -286,6 +291,74 @@ def cmd_serve(args: argparse.Namespace) -> int:
         Path(args.trace_out).write_text(json.dumps(doc))
         print(f"wrote {args.trace_out} ({len(doc['traceEvents'])} events, "
               "serve track included)")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Serve workload under seeded fault injection; graceful degradation."""
+    import json
+    from pathlib import Path
+
+    from repro.faults import seeded_chaos
+    from repro.obs import build_trace, merge_fault_track
+    from repro.serve import (AdmissionQueue, Batcher, PlanCache,
+                             ServeScheduler, merge_serve_track, summarize,
+                             synthetic_workload)
+
+    spec = preset(args.system)
+    sizes = None
+    if args.sizes:
+        sizes = {_parse_size(s): 1.0 for s in args.sizes.split(",")}
+    reqs = synthetic_workload(args.requests, rate=args.rate, sizes=sizes,
+                             dtype=args.dtype, seed=args.seed)
+
+    def run_once():
+        """One chaos run from scratch — fresh injector, cluster, caches."""
+        inj = seeded_chaos(
+            spec, seed=args.fault_seed, transient_rate=args.transient_rate,
+            flaps=args.flaps, stragglers=args.stragglers,
+            degrades=args.degrades, horizon=args.horizon,
+        )
+        cl = VirtualCluster(spec, execute=False, faults=inj)
+        sched = ServeScheduler(
+            cl, Batcher(PlanCache(spec), max_batch=args.max_batch),
+            queue=AdmissionQueue(capacity=args.queue_capacity),
+            max_inflight=args.max_inflight,
+            retry_budget=args.retry_budget,
+        )
+        sched.run(reqs)
+        return cl, sched
+
+    cl, sched = run_once()
+    if args.replay_check:
+        fp = cl.ledger.fingerprint()
+        cl2, _ = run_once()
+        if fp != cl2.ledger.fingerprint():
+            print("replay check: FAILED — two identically seeded chaos runs "
+                  "produced different ledgers")
+            return 1
+        print(f"replay check: ok (ledger fingerprint {fp[:16]}… twice)")
+    if args.sanitize:
+        cl.sanitize()
+        print("sanitizer: retried chaos schedule certified hazard-free")
+    rep = summarize(sched)
+    inj = cl.faults
+    print(f"chaos: {args.requests} requests at {args.rate:g} req/s on "
+          f"{spec.name} (fault seed {args.fault_seed}, transient rate "
+          f"{args.transient_rate:g}, {args.stragglers} straggler(s), "
+          f"{args.flaps} flap(s), {args.degrades} degrade(s); "
+          f"{len(inj.events)} fault events)")
+    print(rep.render())
+    if args.json:
+        Path(args.json).write_text(rep.to_json())
+        print(f"wrote {args.json}")
+    if args.trace_out:
+        doc = merge_fault_track(
+            merge_serve_track(build_trace(cl.ledger, spec), sched),
+            inj.events)
+        Path(args.trace_out).write_text(json.dumps(doc))
+        print(f"wrote {args.trace_out} ({len(doc['traceEvents'])} events, "
+              "serve + fault tracks included)")
     return 0
 
 
@@ -591,6 +664,45 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--trace-out", default=None,
                     help="export a Perfetto trace with the serve track")
     sv.set_defaults(fn=cmd_serve)
+
+    ch = sub.add_parser("chaos", help="serve workload under fault injection")
+    ch.add_argument("--system", default="8xP100", choices=sorted(_PRESETS))
+    ch.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    ch.add_argument("--requests", type=int, default=32,
+                    help="number of requests in the synthetic trace")
+    ch.add_argument("--rate", type=float, default=2000.0,
+                    help="offered load [req/s] (Poisson arrivals)")
+    ch.add_argument("--sizes", default=None,
+                    help="comma-separated size mix (e.g. '2^16,2^18')")
+    ch.add_argument("--max-batch", type=int, default=8)
+    ch.add_argument("--max-inflight", type=int, default=2)
+    ch.add_argument("--queue-capacity", type=int, default=64)
+    ch.add_argument("--seed", type=int, default=0,
+                    help="workload seed (arrivals, sizes)")
+    ch.add_argument("--fault-seed", type=int, default=0,
+                    help="chaos scenario seed (see repro.faults.seeded_chaos)")
+    ch.add_argument("--transient-rate", type=float, default=0.02,
+                    help="per-attempt transient failure probability")
+    ch.add_argument("--flaps", type=int, default=0,
+                    help="number of random link-flap windows")
+    ch.add_argument("--stragglers", type=int, default=1,
+                    help="number of random straggler windows")
+    ch.add_argument("--degrades", type=int, default=0,
+                    help="number of random link-degrade windows")
+    ch.add_argument("--horizon", type=float, default=50e-3,
+                    help="chaos scenario horizon [s]")
+    ch.add_argument("--retry-budget", type=int, default=2,
+                    help="service-level re-enqueues per failed request")
+    ch.add_argument("--sanitize", action="store_true",
+                    help="hazard-sanitize the retried chaos schedule")
+    ch.add_argument("--replay-check", action="store_true",
+                    help="run twice and require bit-identical ledgers")
+    ch.add_argument("--json", default=None,
+                    help="also write the serve report as JSON to this path")
+    ch.add_argument("--trace-out", default=None,
+                    help="export a Perfetto trace with serve + fault tracks")
+    ch.set_defaults(fn=cmd_chaos)
 
     tu = sub.add_parser("tune", help="build a tuning-wisdom file")
     tu.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))

@@ -16,9 +16,16 @@ routed over the machine's actual interconnect topology:
   ablation;
 - :mod:`repro.comm.tuning` — the model-driven selector
   (``algorithm="auto"``) and the prediction table behind
-  ``repro comm``.
+  ``repro comm``;
+- :mod:`repro.comm.retry` — the fault-handling contract: a
+  :class:`~repro.comm.retry.RetryPolicy` (timeout, exponential backoff
+  with seeded jitter, per-collective budget) applied by the api layer
+  when the cluster carries a :class:`~repro.faults.FaultInjector`, and
+  :class:`~repro.comm.retry.CommFailure` raised when retries cannot
+  succeed.
 
-See ``docs/COMM.md`` for the cost model and selector policy.
+See ``docs/COMM.md`` for the cost model and selector policy, and
+``docs/FAULTS.md`` for retry semantics.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.comm.api import (
     halo_exchange,
     sendrecv,
 )
+from repro.comm.retry import DEFAULT_RETRY, CommFailure, RetryPolicy
 from repro.comm.plans import CommPlan, Msg, build_plan, plan_time
 from repro.comm.tuning import (
     algorithm_table,
@@ -40,8 +48,11 @@ from repro.comm.tuning import (
 
 __all__ = [
     "ALGORITHMS",
+    "CommFailure",
     "CommPlan",
+    "DEFAULT_RETRY",
     "Msg",
+    "RetryPolicy",
     "algorithm_table",
     "allgather",
     "alltoall",

@@ -28,6 +28,17 @@ round ``k+1`` sends after round ``k`` receives).
 Every call appends a record to ``cluster.comm_log`` (algorithm, payload,
 predicted time) which :func:`repro.obs.metrics.join_comm_model` joins
 against the ledger for measured-vs-model validation.
+
+Fault handling: when the cluster carries a
+:class:`~repro.faults.FaultInjector`, every message (and every bulk
+collective round) asks the injector for an outcome at its estimated
+start time.  A transient failure charges a timed-out ``<stage>!fail``
+record on the same engines, waits out the
+:class:`~repro.comm.retry.RetryPolicy` backoff, and re-issues; budget
+exhaustion or a permanent fault (device loss) raises
+:class:`~repro.comm.retry.CommFailure` for the caller (the serve layer)
+to handle.  With no injector, none of this code runs and the issued
+schedule is bit-identical to the fault-free path.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from typing import Callable, Sequence
 
 from repro.comm import plans as _plans
 from repro.comm import tuning as _tuning
+from repro.comm.retry import CommFailure
 from repro.machine import topology as topo
 from repro.machine.stream import Event
 from repro.util.validation import ParameterError
@@ -84,7 +96,120 @@ def _normalize_after(after, G: int):
     return None, [e for e in deps if e is not None]
 
 
-def _issue_plan(cl, plan, name: str, per_dev, extra, fn, touch):
+def _new_budget(cl):
+    """Per-collective-call retry budget, or None on fault-free clusters."""
+    if getattr(cl, "faults", None) is None:
+        return None
+    return {"spent": 0, "limit": cl.retry.budget}
+
+
+def _dep_time(deps) -> float:
+    return max((e.time for e in deps if e is not None), default=0.0)
+
+
+def _msg_start(cl, src: int, dst: int, deps) -> float:
+    """Side-effect-free estimate of a message's start time.
+
+    Mirrors ``cluster.sendrecv``'s ``max(ready_after(...))`` without
+    touching the streams (``ready_after`` marks events as waited), so
+    fault-outcome queries never perturb the schedule.
+    """
+    return max(cl.dev(src).stream("comm.tx").clock,
+               cl.dev(dst).stream("comm.rx").clock,
+               _dep_time(deps))
+
+
+def _send(cl, src, dst, nbytes, name, deps, fn, reads, writes,
+          bw, lat, budget):
+    """One message through the fault/retry gate.
+
+    Fault-free clusters (or self-sends, which never cross a link) fall
+    straight through to ``cluster.sendrecv``.  Otherwise each attempt's
+    outcome is drawn at its estimated start time: a transient failure
+    appends a zero-byte ``{name}!fail`` record of the policy timeout on
+    the same engines (writes renamed to ``.fail{n}`` siblings so they
+    never alias the real destination), then retries after the seeded
+    backoff; device loss or budget exhaustion raises
+    :class:`CommFailure`.
+    """
+    if budget is None or src == dst or cl.G == 1:
+        return cl.sendrecv(src, dst, nbytes, name, after=deps, fn=fn,
+                           reads=list(reads), writes=list(writes),
+                           bandwidth=bw, latency=lat)
+    inj, policy = cl.faults, cl.retry
+    deps = list(deps)
+    while True:
+        t0 = _msg_start(cl, src, dst, deps)
+        outcome = inj.message_outcome(src, dst, name, t0)
+        if outcome == "ok":
+            return cl.sendrecv(src, dst, nbytes, name, after=deps, fn=fn,
+                               reads=list(reads), writes=list(writes),
+                               bandwidth=bw, latency=lat)
+        if outcome == "lost":
+            raise CommFailure(
+                f"{name}: link {src}->{dst} has a lost endpoint",
+                time=t0, permanent=True,
+            )
+        n = budget["spent"]
+        budget["spent"] = n + 1
+        ev = cl.sendrecv(
+            src, dst, 0.0, f"{name}!fail", after=deps, fn=None,
+            reads=list(reads),
+            writes=[f"{w}.fail{n}" for w in writes],
+            bandwidth=bw, latency=policy.timeout,
+        )
+        if budget["spent"] > budget["limit"]:
+            raise CommFailure(
+                f"{name}: retry budget ({budget['limit']}) exhausted on "
+                f"link {src}->{dst}",
+                time=ev.time, permanent=False,
+            )
+        deps = deps + [Event(ev.time + policy.delay(name, n),
+                             f"{name}.backoff")]
+
+
+def _collective_gate(cl, name, dep, reads, writes, budget):
+    """Fault/retry gate ahead of one bulk collective issue.
+
+    Returns the (possibly backoff-extended) dependency list to issue
+    the real collective with.  Failed attempts are charged as coherent
+    ``{name}!fail`` collectives — all G records share one start and the
+    policy timeout as duration — so the schedule auditor accepts them.
+    """
+    if budget is None or cl.G == 1:
+        return dep
+    inj, policy = cl.faults, cl.retry
+    dep = list(dep)
+    while True:
+        t0 = max(
+            max(d.stream("comm.tx").clock, d.stream("comm.rx").clock)
+            for d in cl.devices
+        )
+        t0 = max(t0, _dep_time(dep))
+        outcome = inj.collective_outcome(name, t0)
+        if outcome == "ok":
+            return dep
+        if outcome == "lost":
+            raise CommFailure(f"{name}: device lost during collective",
+                              time=t0, permanent=True)
+        n = budget["spent"]
+        budget["spent"] = n + 1
+        evs = cl._collective(
+            f"{name}!fail", 0.0, dep, None,
+            reads=list(reads),
+            writes=[f"{w}.fail{n}" for w in writes],
+            duration=policy.timeout,
+        )
+        t_end = max(e.time for e in evs)
+        if budget["spent"] > budget["limit"]:
+            raise CommFailure(
+                f"{name}: retry budget ({budget['limit']}) exhausted",
+                time=t_end, permanent=False,
+            )
+        dep = dep + [Event(t_end + policy.delay(name, n), f"{name}.backoff")]
+
+
+def _issue_plan(cl, plan, name: str, per_dev, extra, fn, touch, budget=None):
     """Issue one plan's rounds as sendrecv ops; returns per-device latest
     events (``touch``, updated in place across chunks)."""
     spec = cl.spec
@@ -103,12 +228,12 @@ def _issue_plan(cl, plan, name: str, per_dev, extra, fn, touch):
                 deps = [last_recv[m.src]]
             else:
                 deps = []
-            ev = cl.sendrecv(
-                m.src, m.dst, m.nbytes, name,
-                after=deps, fn=fn,
-                reads=list(m.reads), writes=list(m.writes),
-                bandwidth=bw,
-                latency=topo.pair_latency(spec.graph, m.src, m.dst),
+            ev = _send(
+                cl, m.src, m.dst, m.nbytes, name,
+                deps, fn,
+                list(m.reads), list(m.writes),
+                bw, topo.pair_latency(spec.graph, m.src, m.dst),
+                budget,
             )
             fn = None
             new_recv[m.dst] = ev
@@ -159,6 +284,7 @@ def alltoall(
             f"after_chunks has {len(after_chunks)} entries for {chunks} chunks"
         )
     algo = _resolve(cl, "alltoall", bytes_sent_per_device, algorithm)
+    budget = _new_budget(cl)
     if algo == "bulk":
         events: list[Event] = []
         for i in range(chunks):
@@ -169,6 +295,7 @@ def alltoall(
             else:
                 rds = [f"{r}#r{i}" for r in reads]
                 wrs = [f"{w}#t{i}" for w in writes]
+            dep = _collective_gate(cl, name, dep, rds, wrs, budget)
             events = cl.alltoall(
                 bytes_sent_per_device / chunks,
                 name=name,
@@ -194,7 +321,7 @@ def alltoall(
             rds, tuple(writes), f"#t{i}",
         )
         touch = _issue_plan(cl, plan, name, per_dev, extra,
-                            fn if i == 0 else None, touch)
+                            fn if i == 0 else None, touch, budget)
     _log(cl, name, "alltoall", algo, bytes_sent_per_device, chunks)
     return _done_events(cl, touch, name)
 
@@ -217,8 +344,11 @@ def allgather(
     therefore ordered by the returned per-device events.
     """
     algo = _resolve(cl, "allgather", bytes_per_device, algorithm)
+    budget = _new_budget(cl)
     if algo == "bulk":
-        events = cl.allgather(bytes_per_device, name, after=after, fn=fn,
+        dep = _collective_gate(cl, name, after, list(reads), list(writes),
+                               budget)
+        events = cl.allgather(bytes_per_device, name, after=dep, fn=fn,
                               reads=list(reads), writes=list(writes))
         _log(cl, name, "allgather", "bulk", bytes_per_device)
         return events
@@ -227,7 +357,7 @@ def allgather(
     plan = _plans.build_plan(cl.spec, "allgather", bytes_per_device, algo,
                              tuple(reads), tuple(writes), "")
     touch = _issue_plan(cl, plan, name, per_dev, extra, fn,
-                        [None] * cl.G)
+                        [None] * cl.G, budget)
     _log(cl, name, "allgather", algo, bytes_per_device)
     return _done_events(cl, touch, name)
 
@@ -255,16 +385,17 @@ def halo_exchange(
             return [Event(after[0].time, name)]
         return [Event(cl.dev(0).stream("comm.rx").clock, name)]
     deps = list(after) if after else [None] * G
+    budget = _new_budget(cl)
     ev_right = [
-        cl.sendrecv(g, (g + 1) % G, nbytes, name,
-                    after=[deps[g]] if deps[g] is not None else (),
-                    reads=[src_buf], writes=[f"{halo_buf}#L"])
+        _send(cl, g, (g + 1) % G, nbytes, name,
+              [deps[g]] if deps[g] is not None else [], None,
+              [src_buf], [f"{halo_buf}#L"], None, None, budget)
         for g in range(G)
     ]
     ev_left = [
-        cl.sendrecv(g, (g - 1) % G, nbytes, name,
-                    after=[deps[g]] if deps[g] is not None else (),
-                    reads=[src_buf], writes=[f"{halo_buf}#R"])
+        _send(cl, g, (g - 1) % G, nbytes, name,
+              [deps[g]] if deps[g] is not None else [], None,
+              [src_buf], [f"{halo_buf}#R"], None, None, budget)
         for g in range(G)
     ]
     spec = cl.spec
@@ -302,8 +433,8 @@ def sendrecv(
     event/declare semantics, including the zero-cost self-send record)
     that additionally logs the transfer for measured-vs-model joins.
     """
-    ev = cl.sendrecv(src, dst, nbytes, name, after=after, fn=fn,
-                     reads=list(reads), writes=list(writes))
+    ev = _send(cl, src, dst, nbytes, name, list(after), fn,
+               list(reads), list(writes), None, None, _new_budget(cl))
     if src == dst or cl.G == 1:
         predicted = 0.0
     else:

@@ -1,0 +1,61 @@
+"""Fault events: the injector's own append-only ledger.
+
+Every fault the injector schedules or draws is stamped as one
+:class:`FaultEvent` — the fault-side twin of the machine's
+:class:`~repro.machine.ledger.OpRecord`.  The events feed the Perfetto
+fault track (:func:`repro.obs.perfetto.fault_track_events`) and the
+fault counters in :class:`~repro.serve.stats.ServeReport`, so a chaos
+run's timeline shows *what was injected* next to *what it cost*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: admissible fault-event kinds
+FAULT_KINDS = (
+    "link_degrade",   # scheduled: a link runs at reduced bandwidth
+    "link_flap",      # scheduled: a link drops every message in a window
+    "straggler",      # scheduled: a device runs slowed down
+    "device_loss",    # scheduled: a device permanently leaves the machine
+    "transient",      # drawn online: one message/collective attempt failed
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence on the simulated timeline.
+
+    Attributes
+    ----------
+    time:
+        Simulated onset time, seconds.
+    kind:
+        One of :data:`FAULT_KINDS`.
+    device:
+        Primary affected device (sender for transients), -1 if none.
+    peer:
+        Second endpoint for link faults and transients, -1 if none.
+    duration:
+        Window length for scheduled faults; 0.0 for point events
+        (transients, device loss).
+    detail:
+        Free-form context — the collective/stage name for transients,
+        the scale factor for degrades/stragglers.
+    """
+
+    time: float
+    kind: str
+    device: int = -1
+    peer: int = -1
+    duration: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0.0 or self.duration < 0.0:
+            raise ValueError(
+                f"fault event times must be >= 0, got time={self.time!r} "
+                f"duration={self.duration!r}"
+            )

@@ -58,11 +58,35 @@ class VirtualCluster:
         True runs real NumPy compute alongside the timing simulation;
         False records timing only (shape-determined), enabling sweeps at
         sizes where Python-side numerics would be prohibitive.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`.  When installed,
+        stragglers/degraded links stretch recorded op durations and
+        :mod:`repro.comm` consults it for per-attempt outcomes (retrying
+        under ``retry``).  With no injector — or an injector that never
+        fires — every duration is bit-identical to the fault-free path.
+    retry:
+        Optional :class:`~repro.comm.retry.RetryPolicy` governing the
+        comm layer's timeout/backoff/budget.  Defaults to
+        ``DEFAULT_RETRY`` whenever ``faults`` is installed.
     """
 
-    def __init__(self, spec: ClusterSpec, execute: bool = True):
+    def __init__(self, spec: ClusterSpec, execute: bool = True,
+                 faults=None, retry=None):
         self.spec = spec
         self.execute = execute
+        if faults is not None and faults.spec.num_devices != spec.num_devices:
+            raise ParameterError(
+                f"fault injector built for {faults.spec.num_devices} devices, "
+                f"cluster has {spec.num_devices}"
+            )
+        if retry is not None and faults is None:
+            raise ParameterError("retry policy given without a fault injector")
+        self.faults = faults
+        if faults is not None and retry is None:
+            from repro.comm.retry import DEFAULT_RETRY
+
+            retry = DEFAULT_RETRY
+        self.retry = retry
         self.devices = [
             Device(g, spec.device, execute=execute) for g in range(spec.num_devices)
         ]
@@ -87,10 +111,17 @@ class VirtualCluster:
         return max(d.max_clock() for d in self.devices)
 
     def reset_time(self) -> None:
-        """Zero all stream clocks and clear the ledger (memory persists)."""
+        """Zero all stream clocks and clear the ledger (memory persists).
+
+        An installed fault injector is reset too (reseeded, online
+        transient events dropped), so run → reset → run replays
+        bit-identically.
+        """
         for d in self.devices:
             d.reset_time()
         self.ledger = Ledger()
+        if self.faults is not None:
+            self.faults.reset()
 
     def trace(self) -> ExecutionTrace:
         return ExecutionTrace(self.ledger, self.spec)
@@ -178,6 +209,10 @@ class VirtualCluster:
         st = dev.stream(stream)
         start = st.ready_after(*after)
         dur = dev.spec.launch_latency + op_time(dev.spec, flops, mops, dtype, kind=kind)
+        if self.faults is not None:
+            s = self.faults.compute_scale(g, start)
+            if s != 1.0:
+                dur *= s
         uid = self.ledger.append(
             OpRecord(
                 device=g, stream=stream, kind=kind, name=name,
@@ -270,6 +305,10 @@ class VirtualCluster:
         link_lat = self.spec.comm_latency() if latency is None else latency
         bw = self.spec.pair_bandwidth(src, dst) if bandwidth is None else bandwidth
         dur = link_lat + nbytes / bw
+        if self.faults is not None:
+            s = self.faults.comm_scale(src, dst, start)
+            if s != 1.0:
+                dur *= s
         uid = self.ledger.append(
             OpRecord(device=src, stream="comm", kind="comm", name=name,
                      start=start, duration=dur, comm_bytes=nbytes, peer=dst,
@@ -293,6 +332,7 @@ class VirtualCluster:
         fn: Callable[["VirtualCluster"], None] | None,
         reads: Sequence[str] = (),
         writes: Sequence[str] = (),
+        duration: float | None = None,
     ) -> list[Event]:
         """Shared costing for alltoall/allgather (the ``bulk`` model).
 
@@ -312,6 +352,11 @@ class VirtualCluster:
         Pipelines should not call this directly: :mod:`repro.comm`
         wraps it (``algorithm="bulk"``) alongside the per-round message
         plans, and the ``raw-comm`` lint rule enforces that boundary.
+
+        ``duration`` overrides the modelled cost — the retry layer uses
+        it to charge a timed-out failed attempt (the retry timeout, not
+        the transfer time) while keeping collective coherence: all G
+        records share one name/start/duration.
         """
         if self.G == 1:
             if fn is not None and self.execute:
@@ -326,7 +371,14 @@ class VirtualCluster:
         # one message latency is paid per collective call, not per peer —
         # plus the host-side synchronization cost of coordinating it.
         lat = self.spec.comm_latency() + self.spec.collective_overhead
-        dur = lat + bytes_per_device / self._a2a_bw
+        if duration is not None:
+            dur = duration
+        else:
+            dur = lat + bytes_per_device / self._a2a_bw
+            if self.faults is not None:
+                s = self.faults.collective_scale(start)
+                if s != 1.0:
+                    dur *= s
         waits = self._wait_uids(after)
         uids = [
             self.ledger.append(

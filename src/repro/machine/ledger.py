@@ -10,6 +10,7 @@ from it.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field, replace
@@ -217,6 +218,25 @@ class Ledger:
             min(r.start for r in self._records),
             max(r.end for r in self._records),
         )
+
+    def fingerprint(self) -> str:
+        """Order-sensitive content hash over every field of every record.
+
+        Two runs with equal fingerprints issued the same ops with the
+        same timings, dependencies, and declares, in the same order —
+        the replay-determinism check used by chaos runs (same seed ⇒
+        same fingerprint) and the zero-fault twin test (injector
+        installed but silent ⇒ fingerprint equals the seed ledger's).
+        Floats are hashed via ``repr`` so the check is bit-exact.
+        """
+        h = hashlib.sha256()
+        for r in self._records:
+            h.update(repr((
+                r.device, r.stream, r.kind, r.name, r.start, r.duration,
+                r.flops, r.mops, r.comm_bytes, r.peer, r.uid,
+                r.reads, r.writes, r.waits, r.region,
+            )).encode())
+        return h.hexdigest()
 
     def by_uid(self, uid: int) -> OpRecord:
         """Look up a record by its uid (linear scan; diagnostics only)."""

@@ -12,7 +12,9 @@ predictions.  This package gives the simulator the same toolchain:
 - :mod:`repro.obs.perfetto` — Perfetto/Chrome trace-event export: one
   track per (device, engine), flow arrows for wait edges and
   sendrecv/collective pairs, counter tracks for achieved GFLOP/s,
-  memory GB/s, and in-flight comm bytes;
+  memory GB/s, and in-flight comm bytes, plus a fault track
+  (:func:`~repro.obs.perfetto.fault_track_events`) placing injected
+  faults next to the retries they caused;
 - :mod:`repro.obs.metrics` — per-stage rollups, the measured-vs-model
   join (Figure 5 efficiencies), the comm measured-vs-plan-model join
   validating :mod:`repro.comm` predictions against the ledger,
@@ -34,6 +36,7 @@ from repro.obs.metrics import (
     MetricsReport,
     ModelJoin,
     OverlapStats,
+    RetryStats,
     StageStat,
     compute_metrics,
     critical_path,
@@ -41,9 +44,16 @@ from repro.obs.metrics import (
     join_fmm_model,
     overlap_stats,
     overlap_summary,
+    retry_stats,
     rollup,
 )
-from repro.obs.perfetto import build_trace, save_trace, validate_trace
+from repro.obs.perfetto import (
+    build_trace,
+    fault_track_events,
+    merge_fault_track,
+    save_trace,
+    validate_trace,
+)
 from repro.obs.region import region
 
 __all__ = [
@@ -52,15 +62,19 @@ __all__ = [
     "MetricsReport",
     "ModelJoin",
     "OverlapStats",
+    "RetryStats",
     "StageStat",
     "build_trace",
     "compute_metrics",
     "critical_path",
+    "fault_track_events",
     "join_comm_model",
     "join_fmm_model",
+    "merge_fault_track",
     "overlap_stats",
     "overlap_summary",
     "region",
+    "retry_stats",
     "rollup",
     "save_trace",
     "validate_trace",

@@ -224,6 +224,46 @@ def join_comm_model(
 
 
 # ---------------------------------------------------------------------------
+# retry accounting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryStats:
+    """Time and attempts charged to timed-out ``!fail`` comm records.
+
+    The comm layer names every failed attempt ``<stage>!fail``, so
+    retry cost is recoverable from the ledger alone.  ``attempts``
+    counts failed attempts (a failed bulk collective's G coherent
+    records count once); ``retry_time`` is their total duration — the
+    simulated time the run spent discovering failures, before backoff.
+    """
+
+    attempts: int
+    retry_time: float
+    by_name: dict[str, float]
+
+
+def retry_stats(ledger: Ledger) -> RetryStats:
+    """Fold a ledger's ``!fail`` records into a :class:`RetryStats`."""
+    attempts, total = 0, 0.0
+    by_name: dict[str, float] = defaultdict(float)
+    seen: set = set()
+    for r in ledger:
+        if r.kind != "comm" or not r.name.endswith("!fail"):
+            continue
+        if r.peer < 0:
+            key = (r.name, r.start, r.duration)
+            if key in seen:
+                continue
+            seen.add(key)
+        attempts += 1
+        total += r.duration
+        by_name[r.name] += r.duration
+    return RetryStats(attempts=attempts, retry_time=total,
+                      by_name=dict(by_name))
+
+
+# ---------------------------------------------------------------------------
 # comm/compute overlap
 # ---------------------------------------------------------------------------
 
@@ -428,6 +468,7 @@ class MetricsReport:
     overlap: list[OverlapStats]
     path: CriticalPath
     comm: list[CommJoin] = field(default_factory=list)
+    retry: RetryStats | None = None
 
     @property
     def exposed_comm(self) -> float:
@@ -475,6 +516,13 @@ class MetricsReport:
                        format_time(s.overlap), format_time(s.exposed),
                        f"{s.overlap_fraction:.3f}"])
         parts.append(t.render())
+        if self.retry is not None and self.retry.attempts > 0:
+            top = sorted(self.retry.by_name.items(), key=lambda kv: -kv[1])[:4]
+            parts.append(
+                f"comm retries: {self.retry.attempts} failed attempts, "
+                f"{format_time(self.retry.retry_time)} in timeouts ("
+                + ", ".join(f"{n} {format_time(tm)}" for n, tm in top) + ")"
+            )
         n_critical = sum(1 for v in self.path.slack.values() if v == 0.0)
         parts.append(
             f"critical path: {len(self.path.ops)} ops, "
@@ -496,6 +544,10 @@ class MetricsReport:
             "wall_time": self.wall_time,
             "exposed_comm": self.exposed_comm,
             "overlap_fraction": self.overlap_fraction,
+            "retry_attempts": (self.retry.attempts
+                               if self.retry is not None else 0),
+            "retry_time": (self.retry.retry_time
+                           if self.retry is not None else 0.0),
             "critical_path_length": self.path.length,
             "critical_path_ops": len(self.path.ops),
             "critical_path_idle": self.path.idle,
@@ -552,4 +604,5 @@ def compute_metrics(
         path=critical_path(ledger),
         comm=join_comm_model(ledger, comm_log, spec.num_devices)
         if comm_log else [],
+        retry=retry_stats(ledger),
     )

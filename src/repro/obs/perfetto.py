@@ -38,6 +38,10 @@ from repro.machine.spec import ClusterSpec
 #: event phases a trace produced here may contain (validation whitelist)
 PHASES = ("X", "M", "C", "s", "t", "f")
 
+#: Chrome-trace pid for the fault-injection track; device pids are
+#: 0..G-1 and the serve track uses 99, so 98 never collides.
+FAULT_PID = 98
+
 #: canonical engine order for track (tid) assignment
 _TRACK_ORDER = {"compute": 0, "comm.tx": 1, "comm.rx": 2}
 
@@ -221,6 +225,39 @@ def build_trace(ledger: Ledger, spec: ClusterSpec | None = None) -> dict:
     events.sort(key=lambda e: (e.get("ts", -1.0), e["ph"], e["pid"],
                                e.get("tid", -1), e["name"]))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def fault_track_events(events) -> list[dict]:
+    """Chrome-trace events for an injector's fault ledger.
+
+    One process (pid :data:`FAULT_PID`) named ``faults`` with a single
+    ``injector`` track: each :class:`~repro.faults.FaultEvent` becomes
+    an X span over its window (zero-width for point events like
+    transients and device loss), carrying the affected device/peer and
+    detail in its args.  Splice into a device trace with
+    :func:`merge_fault_track`.
+    """
+    out: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": FAULT_PID,
+         "args": {"name": "faults"}},
+        {"name": "thread_name", "ph": "M", "pid": FAULT_PID, "tid": 0,
+         "args": {"name": "injector"}},
+    ]
+    for ev in events:
+        out.append({
+            "name": ev.kind, "cat": "fault", "ph": "X",
+            "pid": FAULT_PID, "tid": 0,
+            "ts": ev.time * 1e6, "dur": max(0.0, ev.duration) * 1e6,
+            "args": {"device": ev.device, "peer": ev.peer,
+                     "detail": ev.detail},
+        })
+    return out
+
+
+def merge_fault_track(trace: dict, events) -> dict:
+    """Splice the fault track into a trace document (returns it)."""
+    trace["traceEvents"] = list(trace["traceEvents"]) + fault_track_events(events)
+    return trace
 
 
 def save_trace(path: str | Path, ledger: Ledger,

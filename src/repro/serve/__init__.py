@@ -13,9 +13,13 @@ transform requests the way an inference server serves tokens:
 - :mod:`repro.serve.batcher` — continuous batching by execution
   compatibility;
 - :mod:`repro.serve.scheduler` — discrete-event loop interleaving
-  in-flight batches so one batch's comm hides under another's compute;
+  in-flight batches so one batch's comm hides under another's compute,
+  with graceful degradation under injected faults (failed batches
+  re-enqueue within retry budgets and deadline targets, replanned
+  against the degraded topology — see ``docs/FAULTS.md``);
 - :mod:`repro.serve.stats` — latency percentiles, throughput, hit
-  rates, and the Perfetto serve track.
+  rates, deadline-miss and retry accounting, and the Perfetto serve
+  track.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.serve.cache import PlanCache, Wisdom, spec_fingerprint
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import (
     DEADLINE_CLASSES,
+    DEADLINE_TARGETS,
     CompletedRequest,
     TransformRequest,
     synthetic_workload,
@@ -39,6 +44,7 @@ from repro.serve.stats import (
 
 __all__ = [
     "DEADLINE_CLASSES",
+    "DEADLINE_TARGETS",
     "AdmissionQueue",
     "Batch",
     "Batcher",

@@ -7,9 +7,17 @@ capacity.  Scheduling order is deadline-class priority (interactive
 ahead of batch), FIFO within a class; the batcher drains compatible
 groups through :meth:`AdmissionQueue.take`.
 
-Queue-depth samples are recorded at every state change so the stats
-layer can report depth percentiles and the Perfetto exporter can draw
-the depth counter track.
+Admission order is tracked per *admission*, not per rid: the same
+request object may legitimately enter the queue more than once (the
+scheduler re-enqueues the survivors of a failed batch), and each
+admission gets a fresh sequence token, so a re-offered request queues
+behind its class like any other arrival and never corrupts a sibling
+still waiting from an earlier admission.
+
+Queue-depth samples are recorded at every state change — including
+shed arrivals, so depth percentiles and the Perfetto depth counter
+show the queue pinned at capacity at the exact instants of
+backpressure.
 """
 
 from __future__ import annotations
@@ -34,14 +42,14 @@ class AdmissionQueue:
         if capacity < 1:
             raise ParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._items: list[TransformRequest] = []
-        self._seq: dict[int, int] = {}   # rid -> admission sequence number
+        #: (admission token, request), token assigned per offer()
+        self._items: list[tuple[int, TransformRequest]] = []
         self._next_seq = 0
         #: shed counts per deadline class
         self.shed: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
         #: admitted counts per deadline class
         self.admitted: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
-        #: (time, depth) samples at every admission/drain
+        #: (time, depth) samples at every admission/shed/drain
         self.depth_samples: list[tuple[float, int]] = [(0.0, 0)]
 
     def __len__(self) -> int:
@@ -54,22 +62,24 @@ class AdmissionQueue:
         """Admit ``req`` at time ``now``; False means shed (queue full)."""
         if len(self._items) >= self.capacity:
             self.shed[req.deadline] += 1
+            self._sample(now)
             return False
-        self._items.append(req)
-        self._seq[req.rid] = self._next_seq
+        self._items.append((self._next_seq, req))
         self._next_seq += 1
         self.admitted[req.deadline] += 1
         self._sample(now)
         return True
 
-    def _priority(self, req: TransformRequest) -> tuple:
-        return (DEADLINE_CLASSES.index(req.deadline), self._seq[req.rid])
+    @staticmethod
+    def _priority(entry: tuple[int, TransformRequest]) -> tuple:
+        seq, req = entry
+        return (DEADLINE_CLASSES.index(req.deadline), seq)
 
     def head(self) -> TransformRequest | None:
         """The request the scheduler must serve next (None if empty)."""
         if not self._items:
             return None
-        return min(self._items, key=self._priority)
+        return min(self._items, key=self._priority)[1]
 
     def take(
         self,
@@ -84,17 +94,15 @@ class AdmissionQueue:
         """
         if limit < 1:
             raise ParameterError(f"limit must be >= 1, got {limit}")
-        head = self.head()
-        if head is None:
+        if not self._items:
             return []
-        group = [r for r in self._items if compatible(r)]
+        head = min(self._items, key=self._priority)
+        group = [e for e in self._items if compatible(e[1])]
         group.sort(key=self._priority)
         if head not in group:
             group = [head] + group
         group = group[:limit]
-        taken = set(id(r) for r in group)
-        self._items = [r for r in self._items if id(r) not in taken]
-        for r in group:
-            self._seq.pop(r.rid, None)
+        taken = set(seq for seq, _ in group)
+        self._items = [e for e in self._items if e[0] not in taken]
         self._sample(now)
-        return group
+        return [req for _, req in group]

@@ -21,6 +21,12 @@ from repro.util.validation import ParameterError, complex_dtype_for
 #: admissible deadline classes, in scheduling-priority order
 DEADLINE_CLASSES = ("interactive", "batch")
 
+#: default arrival-to-completion latency target per class, seconds.
+#: Finishing later counts as a deadline miss in :class:`ServeReport`,
+#: and a request already past its target is shed rather than retried
+#: when its batch fails (see docs/FAULTS.md).
+DEADLINE_TARGETS = {"interactive": 10e-3, "batch": 100e-3}
+
 
 @dataclass(frozen=True)
 class TransformRequest:

@@ -19,19 +19,39 @@ free, and launches each batch onto the *shared* virtual cluster:
 With ``max_inflight=1`` the loop degrades to strict one-at-a-time
 serving (the baseline arm); the default 2 keeps one batch's comm under
 another's compute.
+
+Graceful degradation: when the cluster carries a fault injector, a
+batch whose communication exhausts its retry budget (or hits a
+permanent fault) raises :class:`~repro.comm.retry.CommFailure`.  The
+scheduler absorbs it — the batch's partial schedule stays on the
+ledger (the engines really were occupied), its requests re-enter the
+admission queue with a bounded per-request retry budget, and requests
+already past their deadline target are shed instead of retried.
+Re-issued batches replan their collective algorithm against the
+injector's *degraded* topology via the ``auto`` selector, so a run
+with a throttled link switches algorithms instead of hammering the
+dead link.  All retry/shed accounting lands in
+:class:`~repro.serve.stats.ServeReport`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.retry import CommFailure
+from repro.comm.tuning import choose_algorithm
 from repro.core.distributed import FmmFftDistributed
 from repro.core.single import fmmfft_batched
 from repro.machine.cluster import VirtualCluster
 from repro.machine.stream import Event
 from repro.serve.batcher import Batch, Batcher
 from repro.serve.queue import AdmissionQueue
-from repro.serve.request import CompletedRequest, TransformRequest
+from repro.serve.request import (
+    DEADLINE_CLASSES,
+    DEADLINE_TARGETS,
+    CompletedRequest,
+    TransformRequest,
+)
 from repro.util.validation import ParameterError
 
 
@@ -55,6 +75,15 @@ class ServeScheduler:
         Compute request payloads host-side with the batched kernel;
         requires payloads on every request and a cache built with
         ``build_operators=True``.  Outputs land in :attr:`outputs`.
+    retry_budget:
+        Times a request survives its batch failing before being shed
+        (fault-injected runs only).
+    deadline_targets:
+        Per-class latency targets (seconds); defaults to
+        :data:`~repro.serve.request.DEADLINE_TARGETS`.  A failed
+        request already past its target is shed rather than retried,
+        and the stats layer counts completions past it as deadline
+        misses.
     """
 
     def __init__(
@@ -64,6 +93,8 @@ class ServeScheduler:
         queue: AdmissionQueue | None = None,
         max_inflight: int = 2,
         compute_outputs: bool = False,
+        retry_budget: int = 2,
+        deadline_targets: dict[str, float] | None = None,
     ):
         if cluster.execute:
             raise ParameterError(
@@ -80,32 +111,80 @@ class ServeScheduler:
             raise ParameterError(
                 "compute_outputs requires a PlanCache(build_operators=True)"
             )
+        if retry_budget < 0:
+            raise ParameterError(f"retry_budget must be >= 0, got {retry_budget}")
+        if deadline_targets is not None and set(deadline_targets) != set(
+            DEADLINE_CLASSES
+        ):
+            raise ParameterError(
+                f"deadline_targets must cover {DEADLINE_CLASSES}, "
+                f"got {sorted(deadline_targets)}"
+            )
         self.cluster = cluster
         self.batcher = batcher
         self.queue = queue if queue is not None else AdmissionQueue()
         self.max_inflight = max_inflight
         self.compute_outputs = compute_outputs
+        self.retry_budget = retry_budget
+        self.deadline_targets = (dict(DEADLINE_TARGETS)
+                                 if deadline_targets is None
+                                 else dict(deadline_targets))
+        self.faults = cluster.faults
         #: rid -> output vector (only with ``compute_outputs``)
         self.outputs: dict[int, np.ndarray] = {}
-        #: per-batch telemetry: {bid, k, N, release, finish, setup_time}
+        #: per-batch telemetry: {bid, k, N, release, finish, setup_time,
+        #: failed}
         self.batches: list[dict] = []
         self.completed: list[CompletedRequest] = []
+        #: batches that raised CommFailure
+        self.failed_batches = 0
+        #: per-class counts of requests re-enqueued after a batch failure
+        self.retried: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
+        #: per-class counts shed on retry (budget or deadline exceeded)
+        self.retry_shed: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
+        self._attempts: dict[int, int] = {}
+        self._retry_pending: list[tuple[float, TransformRequest]] = []
 
     # -- one batch ----------------------------------------------------
 
+    def _comm_algorithm(self, batch: Batch, release: float) -> str:
+        """The batch's collective algorithm, replanned under faults.
+
+        While any scheduled fault window is active at release time, the
+        cached choice (tuned on the healthy machine) is re-derived by
+        the ``auto`` selector against the injector's degraded topology —
+        a throttled or flapping link changes which plan is cheapest.
+        """
+        if self.faults is None or not self.faults.active(release):
+            return batch.comm_algorithm
+        payload = (batch.plan.N * np.dtype(batch.plan.dtype).itemsize
+                   / max(1, self.cluster.G))
+        return choose_algorithm(self.faults.degraded_spec(release),
+                                "alltoall", payload)
+
     def _issue(self, batch: Batch, now: float) -> float:
-        """Launch one batch on the cluster; returns its finish time."""
+        """Launch one batch on the cluster; returns its finish time.
+
+        A :class:`CommFailure` mid-batch is absorbed: the partial
+        schedule stays on the ledger, the batch is marked failed, and
+        each of its requests is either re-enqueued (within its retry
+        budget and deadline target) or shed.
+        """
         cl = self.cluster
         release = now + batch.setup_time
         rel = Event(time=release, label=f"serve.release.b{batch.bid}")
         start_idx = len(cl.ledger)
-        with cl.region("serve"), cl.region(f"b{batch.bid}"):
-            exe = FmmFftDistributed(
-                batch.plan, cl,
-                comm_algorithm=batch.comm_algorithm,
-                ns=f"serve.b{batch.bid}", batch=batch.k,
-            )
-            exe.run(after=[rel], barrier=False)
+        algo = self._comm_algorithm(batch, release)
+        try:
+            with cl.region("serve"), cl.region(f"b{batch.bid}"):
+                exe = FmmFftDistributed(
+                    batch.plan, cl,
+                    comm_algorithm=algo,
+                    ns=f"serve.b{batch.bid}", batch=batch.k,
+                )
+                exe.run(after=[rel], barrier=False)
+        except CommFailure as e:
+            return self._fail(batch, release, start_idx, e)
         recs = list(cl.ledger)[start_idx:]
         finish = max((r.end for r in recs), default=release)
         if self.compute_outputs:
@@ -118,7 +197,7 @@ class ServeScheduler:
                 self.outputs[r.rid] = ys[j]
         self.batches.append(dict(
             bid=batch.bid, k=batch.k, N=batch.plan.N, release=release,
-            finish=finish, setup_time=batch.setup_time,
+            finish=finish, setup_time=batch.setup_time, failed=False,
         ))
         for r in batch.requests:
             self.completed.append(CompletedRequest(
@@ -126,6 +205,27 @@ class ServeScheduler:
                 release=release, finish=finish,
             ))
         return finish
+
+    def _fail(self, batch: Batch, release: float, start_idx: int,
+              exc: CommFailure) -> float:
+        """Account one failed batch; returns the time it died."""
+        recs = list(self.cluster.ledger)[start_idx:]
+        fail_time = max([r.end for r in recs] + [exc.time, release])
+        self.failed_batches += 1
+        self.batches.append(dict(
+            bid=batch.bid, k=batch.k, N=batch.plan.N, release=release,
+            finish=fail_time, setup_time=batch.setup_time, failed=True,
+        ))
+        for r in batch.requests:
+            n = self._attempts.get(r.rid, 0) + 1
+            self._attempts[r.rid] = n
+            late = fail_time - r.arrival > self.deadline_targets[r.deadline]
+            if exc.permanent or n > self.retry_budget or late:
+                self.retry_shed[r.deadline] += 1
+            else:
+                self.retried[r.deadline] += 1
+                self._retry_pending.append((fail_time, r))
+        return fail_time
 
     # -- the event loop -----------------------------------------------
 
@@ -143,6 +243,12 @@ class ServeScheduler:
         inflight: list[float] = []          # finish times of issued batches
         now, i = 0.0, 0
         while True:
+            # re-admit retry survivors first: their failure time precedes
+            # any same-instant fresh arrival in the service's causal order
+            self._retry_pending.sort(key=lambda e: (e[0], e[1].rid))
+            while self._retry_pending and self._retry_pending[0][0] <= now:
+                _, r = self._retry_pending.pop(0)
+                self.queue.offer(r, now)
             while i < len(pending) and pending[i].arrival <= now:
                 self.queue.offer(pending[i], now)
                 i += 1
@@ -150,11 +256,14 @@ class ServeScheduler:
             while len(inflight) < self.max_inflight and len(self.queue):
                 batch = self.batcher.next_batch(self.queue, now)
                 inflight.append(self._issue(batch, now))
-            if i >= len(pending) and not len(self.queue) and not inflight:
+            if (i >= len(pending) and not len(self.queue) and not inflight
+                    and not self._retry_pending):
                 break
             horizon = list(inflight)
             if i < len(pending):
                 horizon.append(pending[i].arrival)
+            if self._retry_pending:
+                horizon.append(min(t for t, _ in self._retry_pending))
             now = min(t for t in horizon if t > now)
         self.completed.sort(key=lambda c: (c.finish, c.request.rid))
         return self.completed

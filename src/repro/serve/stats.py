@@ -16,11 +16,11 @@ the same Perfetto timeline as the kernels and collectives they caused.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from repro.serve.request import DEADLINE_CLASSES
+from repro.serve.request import DEADLINE_CLASSES, DEADLINE_TARGETS
 from repro.serve.scheduler import ServeScheduler
 
 #: Chrome-trace pid for the serve track; device pids are 0..G-1 and real
@@ -54,6 +54,21 @@ class ServeReport:
     wisdom_hits: int
     wisdom_misses: int
     searches: int
+    #: per-class completions that finished past their deadline target
+    deadline_misses: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in DEADLINE_CLASSES})
+    #: per-class requests re-enqueued after their batch failed
+    retried: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in DEADLINE_CLASSES})
+    #: per-class requests shed on retry (budget/deadline exceeded)
+    retry_shed: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in DEADLINE_CLASSES})
+    #: batches that died with a CommFailure
+    failed_batches: int = 0
+    #: fault events the injector stamped (0 on fault-free runs)
+    fault_events: int = 0
+    #: total ledger time spent in timed-out ``!fail`` comm attempts
+    retry_time: float = 0.0
 
     def to_json(self) -> str:
         """Serialize the report as indented JSON."""
@@ -77,7 +92,11 @@ class ServeReport:
                 f"p95 {pct['p95'] * 1e3:8.3f} ms   "
                 f"p99 {pct['p99'] * 1e3:8.3f} ms"
             )
+        misses = ", ".join(
+            f"{cls} {self.deadline_misses[cls]}" for cls in DEADLINE_CLASSES
+        )
         lines += [
+            f"deadline miss  {misses}",
             f"queue depth    max {self.queue_depth_max}  "
             f"mean {self.queue_depth_mean:.2f}",
             f"batches        {self.batches}  "
@@ -86,7 +105,36 @@ class ServeReport:
             f"wisdom         {self.wisdom_hits} hits / "
             f"{self.wisdom_misses} misses, {self.searches} searches",
         ]
+        if self.fault_events or self.failed_batches or self.retry_time:
+            lines += [
+                f"faults         {self.fault_events} events, "
+                f"{self.failed_batches} failed batches",
+                f"retries        {sum(self.retried.values())} re-enqueued / "
+                f"{sum(self.retry_shed.values())} shed, exposed "
+                f"{self.retry_time * 1e3:.3f} ms",
+            ]
         return "\n".join(lines)
+
+
+def _retry_time(ledger) -> float:
+    """Total simulated time charged to ``!fail`` comm attempts.
+
+    P2P fail records count individually; a failed bulk collective's G
+    coherent records (same name/start/duration, ``peer < 0``) count
+    once — the whole machine lost that window together, not G times.
+    """
+    total, seen = 0.0, set()
+    for r in ledger:
+        if r.kind != "comm" or not r.name.endswith("!fail"):
+            continue
+        if r.peer >= 0:
+            total += r.duration
+        else:
+            key = (r.name, r.start, r.duration)
+            if key not in seen:
+                seen.add(key)
+                total += r.duration
+    return total
 
 
 def summarize(sched: ServeScheduler) -> ServeReport:
@@ -99,6 +147,15 @@ def summarize(sched: ServeScheduler) -> ServeReport:
         )
         for cls in DEADLINE_CLASSES
     }
+    targets = getattr(sched, "deadline_targets", DEADLINE_TARGETS)
+    deadline_misses = {
+        cls: sum(
+            1 for c in sched.completed
+            if c.request.deadline == cls and c.latency > targets[cls]
+        )
+        for cls in DEADLINE_CLASSES
+    }
+    faults = getattr(sched.cluster, "faults", None)
     depths = [d for _, d in sched.queue.depth_samples]
     ks = [b["k"] for b in sched.batches]
     wall = sched.wall_time
@@ -117,6 +174,12 @@ def summarize(sched: ServeScheduler) -> ServeReport:
         wisdom_hits=cache.wisdom_hits,
         wisdom_misses=cache.wisdom_misses,
         searches=cache.searches,
+        deadline_misses=deadline_misses,
+        retried=dict(sched.retried),
+        retry_shed=dict(sched.retry_shed),
+        failed_batches=sched.failed_batches,
+        fault_events=len(faults.events) if faults is not None else 0,
+        retry_time=_retry_time(sched.cluster.ledger),
     )
 
 
@@ -141,7 +204,8 @@ def serve_trace_events(sched: ServeScheduler) -> list[dict]:
             "ts": b["release"] * 1e6,
             "dur": max(0.0, (b["finish"] - b["release"])) * 1e6,
             "args": {"batch_size": b["k"], "N": b["N"],
-                     "setup_time_us": b["setup_time"] * 1e6},
+                     "setup_time_us": b["setup_time"] * 1e6,
+                     "failed": bool(b.get("failed", False))},
         })
     for t, depth in sched.queue.depth_samples:
         events.append({

@@ -179,3 +179,41 @@ class TestServePlanCache:
     def test_unrelated_factory_ok(self):
         src = HDR + "plan = PlanCacheFmmFftPlanish.create(N=16)\n"
         assert rules(src, "src/repro/serve/scheduler.py") == []
+
+
+class TestFaultInjectionSite:
+    RAISE = HDR + 'raise CommFailure("a2a", time=0.0)\n'
+    DRAW = HDR + 'out = inj.message_outcome(0, 1, "m", 0.5)\n'
+    DRAW_COLL = HDR + 'out = inj.collective_outcome("a2a", 0.5)\n'
+
+    def test_commfailure_flagged_outside_allowed_layers(self):
+        assert rules(self.RAISE, "src/repro/serve/scheduler.py") == [
+            "fault-injection-site"
+        ]
+        assert rules(self.RAISE, "src/repro/dfft/plan.py") == [
+            "fault-injection-site"
+        ]
+
+    def test_outcome_draws_flagged_outside_allowed_layers(self):
+        assert rules(self.DRAW, "src/repro/serve/scheduler.py") == [
+            "fault-injection-site"
+        ]
+        assert rules(self.DRAW_COLL, "src/repro/core/api.py") == [
+            "fault-injection-site"
+        ]
+
+    def test_allowed_layers_exempt(self):
+        for path in ("src/repro/faults/injector.py",
+                     "src/repro/comm/api.py",
+                     "src/repro/machine/cluster.py"):
+            assert rules(self.RAISE, path) == []
+            assert rules(self.DRAW, path) == []
+
+    def test_pragma_waives(self):
+        src = HDR + ('raise CommFailure("a2a", time=0.0)'
+                     "  # lint: allow-fault-injection-site\n")
+        assert rules(src, "src/repro/serve/scheduler.py") == []
+
+    def test_unrelated_attribute_ok(self):
+        src = HDR + "out = report.outcome(0)\nx = CommFailureReport()\n"
+        assert rules(src, "src/repro/serve/scheduler.py") == []

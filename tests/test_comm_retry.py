@@ -1,0 +1,171 @@
+"""Comm-layer retry: policy, !fail records, budgets, backoff, hazards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import comm
+from repro.comm import CommFailure, RetryPolicy
+from repro.faults import DeviceLoss, FaultInjector, LinkFlap
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import p100_nvlink_node
+from repro.util.validation import ParameterError
+
+
+def spec4():
+    return p100_nvlink_node(4)
+
+
+def flaky_cluster(spec=None, rate=0.0, scheduled=(), seed=0, retry=None):
+    spec = spec if spec is not None else spec4()
+    inj = FaultInjector(spec, seed=seed, transient_rate=rate,
+                        scheduled=scheduled)
+    return VirtualCluster(spec, execute=False, faults=inj, retry=retry)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ParameterError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ParameterError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ParameterError):
+            RetryPolicy(budget=0)
+
+    def test_delay_grows_exponentially_and_caps(self):
+        p = RetryPolicy(backoff=1e-4, backoff_factor=2.0, max_backoff=4e-4,
+                        jitter=0.0)
+        assert p.delay("x", 0) == pytest.approx(1e-4)
+        assert p.delay("x", 1) == pytest.approx(2e-4)
+        assert p.delay("x", 2) == pytest.approx(4e-4)
+        assert p.delay("x", 5) == pytest.approx(4e-4)   # capped
+
+    def test_jitter_is_stateless_and_deterministic(self):
+        p = RetryPolicy(jitter=0.5)
+        assert p.delay("a2a", 1) == p.delay("a2a", 1)
+        assert p.delay("a2a", 1) != p.delay("a2a", 2)
+        base = RetryPolicy(jitter=0.0)
+        assert base.delay("a2a", 1) <= p.delay("a2a", 1) <= 1.5 * base.delay("a2a", 1)
+
+
+class TestFailRecords:
+    def test_flapped_message_issues_fail_then_succeeds(self):
+        # flap window covers only t=0; the retry after the timeout lands
+        # outside it and succeeds
+        pol = RetryPolicy(timeout=1e-3, backoff=1e-3, jitter=0.0)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e-3),), retry=pol)
+        comm.sendrecv(cl, 0, 1, 1024, "p2p", reads=["x"], writes=["y"])
+        names = [r.name for r in cl.ledger]
+        assert names == ["p2p!fail", "p2p"]
+        fail = list(cl.ledger)[0]
+        assert fail.duration == pytest.approx(pol.timeout)
+        assert fail.comm_bytes == 0.0
+        # fail writes land in a sibling buffer, not the real destination
+        assert any(buf.endswith("y.fail0") for _, buf in fail.writes)
+
+    def test_success_follows_backoff(self):
+        pol = RetryPolicy(timeout=1e-3, backoff=2e-3, jitter=0.0)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e-3),), retry=pol)
+        comm.sendrecv(cl, 0, 1, 1024, "p2p", reads=["x"], writes=["y"])
+        fail, ok = list(cl.ledger)
+        assert ok.start >= fail.start + pol.timeout + pol.backoff
+
+    def test_budget_exhaustion_raises_retryable(self):
+        # flap covers the whole horizon: every attempt fails
+        pol = RetryPolicy(timeout=1e-4, backoff=1e-5, jitter=0.0, budget=3)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e3),), retry=pol)
+        with pytest.raises(CommFailure) as ei:
+            comm.sendrecv(cl, 0, 1, 1024, "p2p", reads=["x"], writes=["y"])
+        assert not ei.value.permanent
+        assert ei.value.time > 0.0
+        # exactly budget failed attempts were charged to the ledger
+        assert sum(r.name == "p2p!fail" for r in cl.ledger) == pol.budget + 1
+
+    def test_device_loss_is_permanent_and_immediate(self):
+        cl = flaky_cluster(scheduled=(DeviceLoss(1, 0.0),))
+        with pytest.raises(CommFailure) as ei:
+            comm.sendrecv(cl, 0, 1, 1024, "p2p", reads=["x"], writes=["y"])
+        assert ei.value.permanent
+        assert len(cl.ledger) == 0     # no attempt was charged
+
+    def test_bulk_collective_fail_records_are_coherent(self):
+        pol = RetryPolicy(timeout=1e-3, backoff=1e-3, jitter=0.0)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e-3),), retry=pol)
+        comm.alltoall(cl, 4096, "a2a", reads=["x"], writes=["y"])
+        fails = [r for r in cl.ledger if r.name == "a2a!fail"]
+        assert len(fails) == cl.G      # one per device, same window
+        assert len({(r.start, r.duration) for r in fails}) == 1
+        assert all(r.peer < 0 for r in fails)
+
+    def test_budget_shared_across_plan_messages(self):
+        # direct-plan alltoall on a permanently flapped link: the link's
+        # messages burn the shared per-call budget and raise
+        pol = RetryPolicy(timeout=1e-4, backoff=1e-5, jitter=0.0, budget=2)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e3),), retry=pol)
+        with pytest.raises(CommFailure):
+            comm.alltoall(cl, 4096, "a2a", reads=["x"], writes=["y"],
+                          algorithm="direct")
+
+    def test_fail_names_do_not_pollute_the_comm_log(self):
+        pol = RetryPolicy(timeout=1e-3, backoff=1e-3, jitter=0.0)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e-3),), retry=pol)
+        comm.sendrecv(cl, 0, 1, 1024, "p2p", reads=["x"], writes=["y"])
+        assert [e["name"] for e in cl.comm_log] == ["p2p"]
+
+
+class TestRetriedSchedulesSanitize:
+    def test_retried_p2p_sanitizes(self):
+        pol = RetryPolicy(timeout=1e-3, backoff=1e-3, jitter=0.0)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e-3),), retry=pol)
+        ev = comm.sendrecv(cl, 0, 1, 1024, "p2p", reads=["x"], writes=["y"])
+        cl.launch(1, "use", "gemm", 1e6, 1e4, float, after=[ev],
+                  reads=["y"], writes=["z"])
+        cl.sanitize()
+
+    def test_retried_transient_alltoall_sanitizes(self):
+        cl = flaky_cluster(rate=0.05, seed=0)
+        for i in range(4):
+            evs = comm.alltoall(cl, 4096, f"a2a{i}", reads=["x"],
+                                writes=[f"y{i}"], algorithm="direct")
+            cl.launch(0, "use", "gemm", 1e6, 1e4, float, after=[evs[0]],
+                      reads=[f"y{i}"], writes=[f"z{i}"])
+        assert any("!fail" in r.name for r in cl.ledger)
+        cl.sanitize()
+
+    def test_retried_halo_exchange_sanitizes(self):
+        pol = RetryPolicy(timeout=1e-3, backoff=1e-3, jitter=0.0)
+        cl = flaky_cluster(scheduled=(LinkFlap(0, 1, 0.0, 1e-3),), retry=pol)
+        comm.halo_exchange(cl, 1024, "halo", "src", "halo")
+        assert any(r.name == "halo!fail" for r in cl.ledger)
+        cl.sanitize()
+
+
+class TestZeroFaultTwin:
+    def test_no_injector_path_untouched(self):
+        def run(cl):
+            comm.sendrecv(cl, 0, 1, 1024, "p2p", reads=["x"], writes=["y"])
+            comm.alltoall(cl, 4096, "a2a", reads=["y"], writes=["z"],
+                          algorithm="direct")
+            comm.halo_exchange(cl, 512, "halo", "z", "h")
+
+        plain = VirtualCluster(spec4(), execute=False)
+        run(plain)
+        twin = flaky_cluster()      # injector with nothing to inject
+        run(twin)
+        assert plain.ledger.fingerprint() == twin.ledger.fingerprint()
+
+    def test_replay_after_reset_time_is_bit_identical(self):
+        def run(cl):
+            for i in range(4):
+                comm.alltoall(cl, 4096, f"a2a{i}", reads=["x"], writes=["y"],
+                              algorithm="direct")
+
+        cl = flaky_cluster(rate=0.05, seed=0)
+        run(cl)
+        fp = cl.ledger.fingerprint()
+        assert any("!fail" in r.name for r in cl.ledger)
+        cl.reset_time()
+        run(cl)
+        assert cl.ledger.fingerprint() == fp

@@ -131,3 +131,47 @@ class TestPlanCache:
         c.plan_for(N, "complex128")
         c.plan_for(N, "complex128")
         assert c.searches == 1
+
+
+class TestFingerprintTopologySensitivity:
+    """The wisdom key must change when the machine's links change —
+    otherwise a degraded topology poisons the healthy machine's wisdom."""
+
+    def test_degraded_link_changes_fingerprint(self):
+        from repro.faults import FaultInjector, LinkDegrade
+
+        spec = preset("8xP100")
+        inj = FaultInjector(spec, scheduled=(
+            LinkDegrade(0, 1, 0.0, 1.0, bandwidth_scale=0.25),))
+        assert (spec_fingerprint(inj.degraded_spec(0.5))
+                != spec_fingerprint(spec))
+        # outside the window the degraded spec is the healthy machine
+        assert (spec_fingerprint(inj.degraded_spec(2.0))
+                == spec_fingerprint(spec))
+
+    def test_removed_link_changes_fingerprint(self):
+        from repro.faults import FaultInjector, LinkFlap
+
+        spec = preset("8xP100")
+        inj = FaultInjector(spec, scheduled=(LinkFlap(2, 3, 0.0, 1.0),))
+        assert (spec_fingerprint(inj.degraded_spec(0.5))
+                != spec_fingerprint(spec))
+
+    def test_isolated_device_changes_fingerprint(self):
+        from repro.faults import DeviceLoss, FaultInjector
+
+        spec = preset("8xP100")
+        inj = FaultInjector(spec, scheduled=(DeviceLoss(5, 0.0),))
+        assert (spec_fingerprint(inj.degraded_spec(1.0))
+                != spec_fingerprint(spec))
+
+    def test_distinct_degradations_distinct_fingerprints(self):
+        from repro.faults import FaultInjector, LinkDegrade
+
+        spec = preset("8xP100")
+        a = FaultInjector(spec, scheduled=(
+            LinkDegrade(0, 1, 0.0, 1.0, bandwidth_scale=0.25),))
+        b = FaultInjector(spec, scheduled=(
+            LinkDegrade(0, 1, 0.0, 1.0, bandwidth_scale=0.5),))
+        assert (spec_fingerprint(a.degraded_spec(0.5))
+                != spec_fingerprint(b.degraded_spec(0.5)))

@@ -1,0 +1,156 @@
+"""Serving under faults: retry/shed policy, replanning, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm import RetryPolicy
+from repro.comm.tuning import choose_algorithm
+from repro.faults import DeviceLoss, FaultInjector, LinkFlap, seeded_chaos
+from repro.machine.cluster import VirtualCluster
+from repro.machine.spec import preset
+from repro.serve import (
+    AdmissionQueue,
+    Batcher,
+    PlanCache,
+    ServeScheduler,
+    summarize,
+    synthetic_workload,
+)
+
+SPEC = preset("8xP100")
+
+
+def serve_run(requests, faults=None, retry=None, retry_budget=2,
+              max_inflight=2):
+    cl = VirtualCluster(SPEC, execute=False, faults=faults, retry=retry)
+    sched = ServeScheduler(
+        cl, Batcher(PlanCache(SPEC), max_batch=8),
+        queue=AdmissionQueue(capacity=256),
+        max_inflight=max_inflight, retry_budget=retry_budget,
+    )
+    sched.run(requests)
+    return cl, sched
+
+
+def accounted(sched):
+    """completed + admission shed + retry shed, in requests."""
+    return (len(sched.completed) + sum(sched.queue.shed.values())
+            + sum(sched.retry_shed.values()))
+
+
+class TestRetryCompletes:
+    def test_failed_batches_reenqueue_and_complete(self):
+        # a flap window early in the run: batches issued inside it exhaust
+        # the comm retry budget and fail; the service re-enqueues their
+        # requests, which complete once the window closes
+        reqs = synthetic_workload(8, rate=20000.0, seed=3)
+        inj = FaultInjector(SPEC, scheduled=(LinkFlap(0, 1, 5e-3, 7.5e-3),))
+        pol = RetryPolicy(timeout=3e-4, backoff=1e-5, jitter=0.0, budget=1)
+        cl, sched = serve_run(reqs, faults=inj, retry=pol, retry_budget=8)
+        assert sched.failed_batches > 0
+        assert sum(sched.retried.values()) > 0
+        assert len(sched.completed) == len(reqs)     # everyone recovered
+        assert accounted(sched) == len(reqs)
+        cl.sanitize()     # the retried interleaving stays hazard-free
+
+    def test_failed_batch_marked_on_serve_track(self):
+        reqs = synthetic_workload(8, rate=20000.0, seed=3)
+        inj = FaultInjector(SPEC, scheduled=(LinkFlap(0, 1, 5e-3, 7.5e-3),))
+        pol = RetryPolicy(timeout=3e-4, backoff=1e-5, jitter=0.0, budget=1)
+        _, sched = serve_run(reqs, faults=inj, retry=pol, retry_budget=8)
+        assert any(b["failed"] for b in sched.batches)
+        assert any(not b["failed"] for b in sched.batches)
+
+
+class TestShedPolicy:
+    def test_permanent_fault_sheds_everything(self):
+        reqs = synthetic_workload(6, rate=20000.0, seed=3)
+        inj = FaultInjector(SPEC, scheduled=(DeviceLoss(0, 0.0),))
+        _, sched = serve_run(reqs, faults=inj)
+        assert len(sched.completed) == 0
+        assert sum(sched.retried.values()) == 0      # no point retrying
+        assert sum(sched.retry_shed.values()) == len(reqs)
+        assert accounted(sched) == len(reqs)
+
+    def test_retry_budget_exhaustion_sheds(self):
+        # a flap that never ends within the horizon: every retry fails
+        # until the per-request budget runs out
+        reqs = synthetic_workload(4, rate=20000.0, seed=3)
+        inj = FaultInjector(SPEC, scheduled=(LinkFlap(0, 1, 0.0, 10.0),))
+        pol = RetryPolicy(timeout=2e-4, backoff=1e-5, jitter=0.0, budget=1)
+        _, sched = serve_run(reqs, faults=inj, retry=pol, retry_budget=1)
+        assert len(sched.completed) == 0
+        assert sum(sched.retry_shed.values()) == len(reqs)
+        assert accounted(sched) == len(reqs)
+
+    def test_zero_retry_budget_sheds_on_first_failure(self):
+        reqs = synthetic_workload(4, rate=20000.0, seed=3)
+        inj = FaultInjector(SPEC, scheduled=(LinkFlap(0, 1, 0.0, 10.0),))
+        pol = RetryPolicy(timeout=2e-4, backoff=1e-5, jitter=0.0, budget=1)
+        _, sched = serve_run(reqs, faults=inj, retry=pol, retry_budget=0)
+        assert sum(sched.retried.values()) == 0
+        assert sum(sched.retry_shed.values()) == len(reqs)
+
+
+class TestReplanning:
+    def test_comm_algorithm_replans_against_degraded_topology(self):
+        reqs = synthetic_workload(2, rate=20000.0, seed=3)
+        inj = FaultInjector(SPEC, scheduled=(LinkFlap(0, 1, 0.0, 1.0),))
+        cl = VirtualCluster(SPEC, execute=False, faults=inj)
+        sched = ServeScheduler(cl, Batcher(PlanCache(SPEC), max_batch=8))
+        q = AdmissionQueue()
+        q.offer(reqs[0], 0.0)
+        batch = sched.batcher.next_batch(q, 0.0)
+        import numpy as np
+
+        payload = (batch.plan.N * np.dtype(batch.plan.dtype).itemsize
+                   / SPEC.num_devices)
+        expect = choose_algorithm(inj.degraded_spec(0.5), "alltoall", payload)
+        assert sched._comm_algorithm(batch, 0.5) == expect
+        # outside the window the cached (healthy) choice is kept
+        assert sched._comm_algorithm(batch, 2.0) == batch.comm_algorithm
+
+
+class TestDeterminism:
+    def test_zero_fault_twin_ledger_equality(self):
+        reqs = synthetic_workload(8, rate=20000.0, seed=3)
+        cl_plain, _ = serve_run(reqs)
+        cl_zero, _ = serve_run(reqs, faults=FaultInjector(SPEC))
+        assert cl_plain.ledger.fingerprint() == cl_zero.ledger.fingerprint()
+
+    def test_seeded_chaos_replay_is_bit_identical(self):
+        reqs = synthetic_workload(8, rate=5000.0, seed=3)
+
+        def chaos_run():
+            inj = seeded_chaos(SPEC, seed=4, transient_rate=0.02,
+                               stragglers=1, flaps=1)
+            return serve_run(reqs, faults=inj)
+
+        cl_a, sched_a = chaos_run()
+        cl_b, _ = chaos_run()
+        assert cl_a.ledger.fingerprint() == cl_b.ledger.fingerprint()
+        assert accounted(sched_a) == len(reqs)
+        cl_a.sanitize()
+
+
+class TestReportAccounting:
+    def test_fault_fields_populated(self):
+        reqs = synthetic_workload(8, rate=20000.0, seed=3)
+        inj = FaultInjector(SPEC, scheduled=(LinkFlap(0, 1, 5e-3, 7.5e-3),))
+        pol = RetryPolicy(timeout=3e-4, backoff=1e-5, jitter=0.0, budget=1)
+        _, sched = serve_run(reqs, faults=inj, retry=pol, retry_budget=8)
+        rep = summarize(sched)
+        assert rep.fault_events == len(inj.events)
+        assert rep.failed_batches == sched.failed_batches
+        assert rep.retry_time > 0.0
+        assert dict(rep.retried) == sched.retried
+        out = rep.render()
+        assert "faults" in out and "retries" in out
+
+    def test_fault_free_report_is_quiet(self):
+        reqs = synthetic_workload(4, rate=20000.0, seed=3)
+        _, sched = serve_run(reqs)
+        rep = summarize(sched)
+        assert rep.fault_events == 0 and rep.retry_time == 0.0
+        assert "faults" not in rep.render()

@@ -80,3 +80,48 @@ class TestTake:
         q.offer(req(0), 0.0)
         with pytest.raises(ParameterError):
             q.take(0.0, lambda r: True, 0)
+
+
+class TestReadmission:
+    """Regression: a request re-offered (batch-failure retry) must get a
+    fresh admission token instead of corrupting a sibling admission."""
+
+    def test_same_request_admitted_twice_drains_twice(self):
+        q = AdmissionQueue()
+        r = req(7)
+        assert q.offer(r, 0.0) and q.offer(r, 1.0)
+        assert len(q) == 2
+        got = q.take(2.0, lambda x: True, 8)
+        assert [x.rid for x in got] == [7, 7]
+        assert len(q) == 0
+
+    def test_duplicate_rid_take_removes_only_taken_admission(self):
+        q = AdmissionQueue()
+        r = req(7)
+        q.offer(r, 0.0)
+        q.offer(r, 1.0)
+        got = q.take(2.0, lambda x: True, 1)
+        assert [x.rid for x in got] == [7]
+        # the second admission is still queued, not collaterally dropped
+        assert len(q) == 1
+        assert q.head().rid == 7
+
+    def test_reoffered_request_queues_behind_its_class(self):
+        q = AdmissionQueue()
+        r = req(3)
+        q.offer(r, 0.0)
+        q.offer(req(4), 0.1)
+        q.take(0.2, lambda x: True, 1)       # serves rid 3
+        q.offer(r, 0.3)                      # retry re-admission
+        assert [x.rid for x in q.take(0.4, lambda x: True, 8)] == [4, 3]
+
+
+class TestShedDepthSamples:
+    def test_shed_arrival_records_depth_sample(self):
+        """Backpressure instants are visible: a shed arrival samples the
+        depth counter pinned at capacity."""
+        q = AdmissionQueue(capacity=2)
+        q.offer(req(0), 0.1)
+        q.offer(req(1), 0.2)
+        assert not q.offer(req(2), 0.3)
+        assert q.depth_samples == [(0.0, 0), (0.1, 1), (0.2, 2), (0.3, 2)]

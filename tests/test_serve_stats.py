@@ -83,3 +83,59 @@ class TestPerfettoTrack:
         assert {e["name"] for e in metas} == {"process_name", "thread_name"}
         assert all(e["pid"] == SERVE_PID for e in events)
         assert all(e["dur"] >= 0 for e in spans)
+
+
+class TestDeadlineMisses:
+    def _run(self, targets):
+        cache = PlanCache(SPEC, autotune=False)
+        cl = VirtualCluster(SPEC, execute=False)
+        sched = ServeScheduler(cl, Batcher(cache, max_batch=4),
+                               queue=AdmissionQueue(capacity=64),
+                               deadline_targets=targets)
+        sched.run(synthetic_workload(12, rate=1e5, sizes={N: 1.0}, seed=3))
+        return summarize(sched)
+
+    def test_generous_targets_miss_nothing(self):
+        rep = self._run({"interactive": 10.0, "batch": 10.0})
+        assert rep.deadline_misses == {"interactive": 0, "batch": 0}
+        assert "deadline miss  interactive 0, batch 0" in rep.render()
+
+    def test_misses_counted_per_class(self):
+        # interactive target impossibly tight, batch target generous:
+        # every interactive completion misses, no batch completion does
+        rep = self._run({"interactive": 1e-9, "batch": 10.0})
+        assert rep.deadline_misses["batch"] == 0
+        assert rep.deadline_misses["interactive"] > 0
+
+    def test_miss_counts_match_completions(self):
+        rep = self._run({"interactive": 1e-9, "batch": 1e-9})
+        assert (rep.deadline_misses["interactive"]
+                + rep.deadline_misses["batch"] == rep.completed)
+        assert rep.deadline_misses["interactive"] > 0
+        assert rep.deadline_misses["batch"] > 0
+
+    def test_json_carries_per_class_misses(self):
+        rep = self._run({"interactive": 1e-9, "batch": 10.0})
+        doc = json.loads(rep.to_json())
+        assert doc["deadline_misses"]["interactive"] > 0
+        assert doc["deadline_misses"]["batch"] == 0
+
+
+class TestShedDepthCounter:
+    def test_counter_track_pins_at_capacity_on_shed(self):
+        """Golden: the Perfetto depth counter shows the queue pinned at
+        capacity at the instant of every shed arrival."""
+        cache = PlanCache(SPEC, autotune=False)
+        cl = VirtualCluster(SPEC, execute=False)
+        sched = ServeScheduler(cl, Batcher(cache, max_batch=1),
+                               queue=AdmissionQueue(capacity=2),
+                               max_inflight=1)
+        sched.run(synthetic_workload(12, rate=1e6, sizes={N: 1.0}, seed=3))
+        assert sum(sched.queue.shed.values()) > 0
+        events = serve_trace_events(sched)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == len(sched.queue.depth_samples)
+        # shed instants sample the counter at full capacity
+        assert any(e["args"]["depth"] == 2 for e in counters)
+        doc = merge_serve_track(build_trace(cl.ledger, SPEC), sched)
+        assert validate_trace(doc) == []
