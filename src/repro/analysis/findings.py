@@ -1,0 +1,136 @@
+"""One findings schema for every analysis tool.
+
+The lint pass, the hazard sanitizer, and the static plan verifier each
+discover different classes of defect, but CI wants to annotate from a
+single machine-readable document.  This module is that contract: a
+:class:`Finding` is ``(tool, rule, severity, message, file, line)`` plus
+free-form context pairs, and :func:`findings_doc` wraps any list of
+findings in a versioned JSON envelope::
+
+    {"version": 1, "kind": "analysis-findings",
+     "count": 3, "errors": 2, "findings": [...]}
+
+``python tools/lint.py --json``, ``repro analyze --json``, and
+``repro verify --json`` all emit exactly this document, so one CI step
+can parse all three.  A finding's *category* is the first dash-separated
+token of its rule (``deadlock-cycle`` -> ``deadlock``), which is what
+the plan verifier's mutation tests key on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: bumped whenever the JSON envelope changes incompatibly
+SCHEMA_VERSION = 1
+
+#: the envelope's ``kind`` tag
+SCHEMA_KIND = "analysis-findings"
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by one analysis tool.
+
+    ``file``/``line`` locate source findings (lint); schedule- or
+    plan-level findings leave them empty and carry their coordinates
+    (algorithm, kind, G, ...) in ``context`` instead.
+    """
+
+    tool: str
+    rule: str
+    severity: str
+    message: str
+    file: str = ""
+    line: int = 0
+    context: tuple = ()  # sorted (key, value) pairs
+
+    @property
+    def category(self) -> str:
+        """First dash token of the rule: ``deadlock-cycle`` -> ``deadlock``."""
+        return self.rule.split("-", 1)[0]
+
+    def to_json(self) -> dict:
+        """Plain-dict form used inside the findings document."""
+        return {
+            "tool": self.tool,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "context": {k: v for k, v in self.context},
+        }
+
+    def __str__(self) -> str:
+        loc = f"{self.file}:{self.line}: " if self.file else ""
+        return f"{loc}[{self.tool}/{self.rule}] {self.message}"
+
+
+def finding_context(**kwargs) -> tuple:
+    """Context pairs in canonical (sorted, hashable) form."""
+    return tuple(sorted(kwargs.items()))
+
+
+def from_lint(issues) -> list[Finding]:
+    """Convert :class:`repro.analysis.lint.LintIssue` rows."""
+    return [
+        Finding(tool="lint", rule=i.rule, severity="error",
+                message=i.message, file=i.path, line=i.line)
+        for i in issues
+    ]
+
+
+def from_hazards(report, context: tuple = ()) -> list[Finding]:
+    """Convert a :class:`repro.analysis.hazards.HazardReport`.
+
+    Hazards become ``hazard-raw``/``hazard-war``/``hazard-waw``
+    findings; structural defects become ``hazard-defect``.
+    """
+    out = [
+        Finding(tool="hazards", rule=f"hazard-{h.kind.lower()}",
+                severity="error", message=h.describe(),
+                context=context + finding_context(
+                    device=h.device, buffer=h.buffer))
+        for h in report.hazards
+    ]
+    out.extend(
+        Finding(tool="hazards", rule="hazard-defect", severity="error",
+                message=d, context=context)
+        for d in report.defects
+    )
+    return out
+
+
+def findings_doc(findings) -> dict:
+    """The versioned JSON envelope CI consumes."""
+    rows = [f.to_json() for f in findings]
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": SCHEMA_KIND,
+        "count": len(rows),
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "findings": rows,
+    }
+
+
+def write_findings(path, findings) -> None:
+    """Serialize the findings document to ``path``."""
+    Path(path).write_text(json.dumps(findings_doc(findings), indent=1))
+
+
+def load_findings(path) -> dict:
+    """Read back a findings document, validating the envelope."""
+    doc = json.loads(Path(path).read_text())
+    if (
+        not isinstance(doc, dict)
+        or doc.get("version") != SCHEMA_VERSION
+        or doc.get("kind") != SCHEMA_KIND
+    ):
+        raise ValueError(f"{path}: not a version-{SCHEMA_VERSION} "
+                         f"{SCHEMA_KIND} document")
+    return doc

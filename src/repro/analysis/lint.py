@@ -1,6 +1,6 @@
 """Repo-specific AST lint: the numeric discipline the kernels rely on.
 
-Nine rules, each targeting a failure mode this codebase has actually to
+Ten rules, each targeting a failure mode this codebase has actually to
 guard against (run with ``python tools/lint.py src``):
 
 ``future-annotations``
@@ -54,7 +54,17 @@ guard against (run with ``python tools/lint.py src``):
     event stream, so the run stops being replay-deterministic and the
     fault ledger stops being truthful.
 
-Any rule can be waived on one line with ``# lint: allow-<rule>``.
+``deterministic-time``
+    No wall clock (``time.time()``, ``datetime.now()``) and no unseeded
+    randomness (``np.random.*`` global-state draws, unseeded
+    ``default_rng()``, the stdlib ``random`` module) outside
+    :mod:`repro.util.prng` and ``benchmarks/``.  The simulator's only
+    clock is virtual and every stochastic choice is a seeded draw; a
+    stray wall-clock read or unseeded sample silently breaks the
+    ``repro chaos --replay-check`` bit-identity gate.
+
+Any rule can be waived on one line with ``# lint: allow-<rule>``; a
+waiver naming no known rule is itself reported (``unknown-waiver``).
 """
 
 from __future__ import annotations
@@ -94,6 +104,23 @@ FAULT_RAISE_ALLOWED = ("repro/faults/", "repro/comm/", "repro/machine/")
 
 #: injector outcome queries covered by the fault-injection-site rule
 FAULT_OUTCOME_METHODS = ("message_outcome", "collective_outcome")
+
+#: the only places allowed to touch wall clocks / unseeded randomness
+DETERMINISTIC_TIME_ALLOWED = ("repro/util/prng.py", "benchmarks/")
+
+#: every waivable rule; a pragma naming anything else is unknown-waiver
+RULES = (
+    "bare-except",
+    "deterministic-time",
+    "dtype-discipline",
+    "fault-injection-site",
+    "future-annotations",
+    "launch-declares",
+    "mutable-default",
+    "np-fft",
+    "raw-comm",
+    "serve-plan-cache",
+)
 
 _PRAGMA = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)")
 
@@ -146,6 +173,7 @@ class _Checker(ast.NodeVisitor):
             any(frag in p for frag in SERVE_PATHS) and SERVE_PLAN_ALLOWED not in p
         )
         self.fault_raise_ok = any(frag in p for frag in FAULT_RAISE_ALLOWED)
+        self.det_time_ok = any(frag in p for frag in DETERMINISTIC_TIME_ALLOWED)
         self._stmt: ast.stmt | None = None
 
     # -- plumbing ------------------------------------------------------
@@ -221,8 +249,78 @@ class _Checker(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    def _check_deterministic_time(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        # wall clock: time.time() / time.time_ns()
+        if (
+            isinstance(base, ast.Name)
+            and base.id == "time"
+            and func.attr in ("time", "time_ns")
+        ):
+            self._report(
+                node, "deterministic-time",
+                f"time.{func.attr}() reads the wall clock -- simulated time "
+                "is the only clock here (repro chaos --replay-check breaks)",
+            )
+        # datetime.now()/utcnow(), date.today()
+        if func.attr in ("now", "utcnow", "today"):
+            owner = base.attr if isinstance(base, ast.Attribute) else (
+                base.id if isinstance(base, ast.Name) else "")
+            if owner in ("datetime", "date"):
+                self._report(
+                    node, "deterministic-time",
+                    f"{owner}.{func.attr}() reads the wall clock -- "
+                    "replayed runs must be bit-identical",
+                )
+        # numpy global-state / unseeded randomness
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and _is_np(base.value)
+        ):
+            if func.attr == "default_rng":
+                seed = node.args[0] if node.args else None
+                for kw in node.keywords:
+                    if kw.arg == "seed":
+                        seed = kw.value
+                if seed is None or (
+                    isinstance(seed, ast.Constant) and seed.value is None
+                ):
+                    self._report(
+                        node, "deterministic-time",
+                        "unseeded np.random.default_rng() -- draws become "
+                        "run-dependent; pass an explicit seed (see "
+                        "repro.util.prng)",
+                    )
+            else:
+                self._report(
+                    node, "deterministic-time",
+                    f"np.random.{func.attr}() uses numpy's global RNG state "
+                    "-- use a seeded np.random.default_rng(seed) generator",
+                )
+        # the stdlib random module (global state, seeded from the OS)
+        if isinstance(base, ast.Name) and base.id == "random":
+            if func.attr == "Random":
+                if not node.args and not node.keywords:
+                    self._report(
+                        node, "deterministic-time",
+                        "random.Random() without a seed -- draws become "
+                        "run-dependent",
+                    )
+            elif func.attr.islower():
+                self._report(
+                    node, "deterministic-time",
+                    f"random.{func.attr}() uses the OS-seeded global RNG -- "
+                    "use a seeded generator (see repro.util.prng)",
+                )
+
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if not self.det_time_ok:
+            self._check_deterministic_time(node)
         # synthetic faults originate only in repro.faults / comm / machine
         if not self.fault_raise_ok:
             if isinstance(func, ast.Name) and func.id == "CommFailure":
@@ -338,6 +436,14 @@ def lint_source(path: str, source: str) -> list[LintIssue]:
     checker = _Checker(path, source, pragmas)
     checker.visit(tree)
     issues = checker.issues + _check_future_import(path, tree, pragmas)
+    known = set(RULES)
+    for line, names in pragmas.items():
+        for name in sorted(names - known):
+            issues.append(LintIssue(
+                path, line, "unknown-waiver",
+                f"'# lint: allow-{name}' names no known rule -- a typo "
+                "here silently waives nothing",
+            ))
     issues.sort(key=lambda i: (i.path, i.line, i.rule))
     return issues
 

@@ -14,7 +14,12 @@ Commands
     Render the Figure-2-style simulated timeline for a configuration.
 ``analyze``
     Profile a pipeline and run the hazard sanitizer over its recorded
-    schedule (``--sanitize`` raises on any data race or defect).
+    schedule (``--sanitize`` raises on any data race or defect;
+    ``--json`` writes the shared analysis-findings document).
+``verify``
+    Statically certify every comm-plan algorithm on every topology
+    class — deadlock-freedom, payload conservation, buffer liveness —
+    without running the simulator (:mod:`repro.analysis.plancheck`).
 ``metrics``
     Observability report for a simulated run: per-region rollups, the
     measured-vs-model join, comm/compute overlap and the critical path.
@@ -220,9 +225,55 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print()
     report = cl.trace().hazards()
     print(report.render())
+    if args.json:
+        from repro.analysis.findings import (finding_context, from_hazards,
+                                             write_findings)
+
+        ctx = finding_context(pipeline=args.pipeline, comm=args.comm,
+                              n=N, system=spec.name)
+        write_findings(args.json, from_hazards(report, context=ctx))
+        print(f"findings JSON written to {args.json}")
     if args.sanitize:
         report.raise_if_any()
     return 0 if report.ok else 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Statically certify comm plans over the algorithm x topology matrix."""
+    from repro.analysis.findings import write_findings
+    from repro.analysis.plancheck import DEFAULT_G_LIST, verify_matrix
+
+    g_list = (tuple(int(g) for g in args.g_list.split(","))
+              if args.g_list else DEFAULT_G_LIST)
+    payload = float(_parse_size(args.payload))
+    rows, findings = verify_matrix(g_list=g_list, payload=payload,
+                                   include_degraded=not args.no_degraded)
+    t = Table(
+        ["spec", "kind", "algorithm", "G", "rounds", "msgs",
+         "wire", "peak live/dev", "verdict"],
+        title="Static plan verification",
+    )
+    for r in rows:
+        t.add_row([
+            r["spec"], r["kind"], r["algorithm"], r["G"],
+            r["num_rounds"], r["num_messages"],
+            format_bytes(r["wire_bytes"]),
+            format_bytes(r["prealloc"].get("peak_live_bytes", 0.0)),
+            "certified" if r["ok"] else f"{r['findings']} finding(s)",
+        ])
+    print(t.render())
+    print()
+    if args.json:
+        write_findings(args.json, findings)
+        print(f"findings JSON written to {args.json}")
+    for f in findings[:20]:
+        print(f)
+    if len(findings) > 20:
+        print(f"... {len(findings) - 20} more finding(s)")
+    n_ok = sum(1 for r in rows if r["ok"])
+    print(f"verify: {n_ok}/{len(rows)} plans certified, "
+          f"{len(findings)} finding(s)")
+    return 0 if not findings else 1
 
 
 def _run_serve(spec, args: argparse.Namespace):
@@ -589,7 +640,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="collective algorithm (see repro.comm)")
     an.add_argument("--sanitize", action="store_true",
                     help="strict mode: raise HazardError on any finding")
+    an.add_argument("--json", metavar="PATH", default=None,
+                    help="write the shared analysis-findings JSON to PATH")
     an.set_defaults(fn=cmd_analyze)
+
+    vf = sub.add_parser(
+        "verify", help="statically certify comm plans (no simulation)")
+    vf.add_argument("--g-list", default=None,
+                    help="comma-separated device counts "
+                         "(default 2,4,8,16,64,256)")
+    vf.add_argument("--payload", default="2^20",
+                    help="per-device payload bytes (e.g. 2^20)")
+    vf.add_argument("--no-degraded", action="store_true",
+                    help="skip the fault-degraded topology views")
+    vf.add_argument("--json", metavar="PATH", default=None,
+                    help="write the shared analysis-findings JSON to PATH")
+    vf.set_defaults(fn=cmd_verify)
 
     me = sub.add_parser("metrics", help="observability report for a run")
     me.add_argument("--pipeline", default="fmmfft",

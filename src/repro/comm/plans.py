@@ -294,12 +294,16 @@ def _allgather_hier(graph, G: int, b: float, reads: tuple, writes: tuple,
             msgs.append(Msg(ld, leaders[(i + 1) % nnodes],
                             len(groups[j]) * b, rd, blocks(groups[j])))
         rounds.append(tuple(msgs))
-    # phase 3: leaders broadcast the off-node blocks to their locals
+    # phase 3: leaders deliver every foreign block to their locals —
+    # off-node blocks from the leader ring plus the sibling blocks that
+    # only exist on the leader (funneled there in phase 1) and the
+    # leader's own contribution (still in the caller's `reads` buffer).
     msgs = []
-    for i, grp in enumerate(groups):
-        off = [x for j, g2 in enumerate(groups) if j != i for x in g2]
+    for grp in groups:
         for g in grp[1:]:
-            msgs.append(Msg(grp[0], g, len(off) * b, blocks(off), blocks(off)))
+            staged = [x for x in range(G) if x != g and x != grp[0]]
+            msgs.append(Msg(grp[0], g, (G - 1) * b, reads + blocks(staged),
+                            blocks([x for x in range(G) if x != g])))
     if msgs:
         rounds.append(tuple(msgs))
     return tuple(rounds), True
@@ -317,6 +321,7 @@ def build_plan(
     reads: tuple = (),
     writes: tuple = ("comm",),
     part: str = "",
+    certify: bool = True,
 ) -> CommPlan:
     """Build the message plan for one collective on one machine.
 
@@ -325,6 +330,12 @@ def build_plan(
     ``reads``/``writes`` are the caller's base buffer names (already
     chunk-qualified on the read side); ``part`` is the chunk tag appended
     to write names before the per-message ``#s``/``#b`` sub-parts.
+
+    Unless ``certify=False``, the plan is admitted through the static
+    verifier (:func:`repro.analysis.plancheck.certify_plan`) before it
+    is returned: deadlock-freedom, payload conservation, and buffer
+    liveness are proved once per ``(spec_fingerprint, kind, algorithm)``
+    and cached, so the warm path pays one dict lookup.
     """
     G = spec.num_devices
     if kind not in KINDS:
@@ -352,8 +363,13 @@ def build_plan(
             f"unknown plan algorithm {algorithm!r}; choose from "
             f"{[a for a in ALGORITHMS if a != 'bulk']}"
         )
-    return CommPlan(algorithm=algorithm, kind=kind, rounds=rounds,
+    plan = CommPlan(algorithm=algorithm, kind=kind, rounds=rounds,
                     chained=chained)
+    if certify:
+        from repro.analysis.plancheck import certify_plan  # lazy: no cycle
+
+        certify_plan(spec, plan, payload)
+    return plan
 
 
 def message_bandwidths(spec, msgs) -> list[float]:

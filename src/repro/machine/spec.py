@@ -17,6 +17,8 @@ distributed FFTs become latency/synchronization bound for N <~ 2^21.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 
 import networkx as nx
@@ -271,3 +273,37 @@ def preset(name: str) -> ClusterSpec:
 def scaled(spec: ClusterSpec, **kwargs) -> ClusterSpec:
     """Return a copy of ``spec`` with device fields overridden (ablations)."""
     return replace(spec, device=replace(spec.device, **kwargs))
+
+
+def spec_fingerprint(spec: ClusterSpec) -> str:
+    """Stable hash of everything about a machine that affects tuning.
+
+    Device envelope, device count, every link's bandwidth/latency, the
+    fallback path, the node partition, and the collective overhead —
+    but *not* the display name, so a renamed but physically identical
+    node reuses its wisdom.  Link values enter the hash, so a degraded
+    topology (a fault injector's ``degraded_spec``) fingerprints
+    differently from the healthy machine — parameters autotuned while
+    links were throttled can never poison the healthy machine's wisdom,
+    and vice versa.  The same key scopes the static plan verifier's
+    verdict cache (:mod:`repro.analysis.plancheck`).
+    """
+    dev = spec.device
+    fb = spec.graph.graph.get("fallback_link")
+    node_of = spec.graph.graph.get("node_of")
+    doc = {
+        "device": [dev.name, dev.gamma_f, dev.gamma_d, dev.beta,
+                   dev.launch_latency, dev.batched_gemm_derate,
+                   dev.custom_kernel_derate],
+        "G": spec.num_devices,
+        "edges": sorted(
+            (min(a, b), max(a, b), d["link"].bandwidth, d["link"].latency)
+            for a, b, d in spec.graph.edges(data=True)
+        ),
+        "fallback": None if fb is None else [fb.bandwidth, fb.latency],
+        "node_of": (None if node_of is None
+                    else sorted((int(g), int(n)) for g, n in node_of.items())),
+        "collective_overhead": spec.collective_overhead,
+    }
+    blob = json.dumps(doc, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]

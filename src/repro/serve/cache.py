@@ -20,7 +20,6 @@ hit-rate accounting the stats layer reports is truthful by construction.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -31,7 +30,7 @@ import numpy as np
 from repro.comm.tuning import choose_algorithm
 from repro.core.api import default_params
 from repro.core.plan import FmmFftPlan
-from repro.machine.spec import ClusterSpec
+from repro.machine.spec import ClusterSpec, spec_fingerprint
 from repro.model.search import find_fastest
 from repro.util.validation import ParameterError
 
@@ -42,39 +41,6 @@ SEARCH_SETUP_TIME = 5e-3
 
 #: modeled host-side cost of building one plan's operator bundle
 PLAN_BUILD_TIME = 0.5e-3
-
-
-def spec_fingerprint(spec: ClusterSpec) -> str:
-    """Stable hash of everything about a machine that affects tuning.
-
-    Device envelope, device count, every link's bandwidth/latency, the
-    fallback path, the node partition, and the collective overhead —
-    but *not* the display name, so a renamed but physically identical
-    node reuses its wisdom.  Link values enter the hash, so a degraded
-    topology (a fault injector's ``degraded_spec``) fingerprints
-    differently from the healthy machine — parameters autotuned while
-    links were throttled can never poison the healthy machine's wisdom,
-    and vice versa.
-    """
-    dev = spec.device
-    fb = spec.graph.graph.get("fallback_link")
-    node_of = spec.graph.graph.get("node_of")
-    doc = {
-        "device": [dev.name, dev.gamma_f, dev.gamma_d, dev.beta,
-                   dev.launch_latency, dev.batched_gemm_derate,
-                   dev.custom_kernel_derate],
-        "G": spec.num_devices,
-        "edges": sorted(
-            (min(a, b), max(a, b), d["link"].bandwidth, d["link"].latency)
-            for a, b, d in spec.graph.edges(data=True)
-        ),
-        "fallback": None if fb is None else [fb.bandwidth, fb.latency],
-        "node_of": (None if node_of is None
-                    else sorted((int(g), int(n)) for g, n in node_of.items())),
-        "collective_overhead": spec.collective_overhead,
-    }
-    blob = json.dumps(doc, sort_keys=True).encode()
-    return hashlib.sha256(blob).hexdigest()[:16]
 
 
 def _wisdom_key(fingerprint: str, N: int, dtype) -> str:

@@ -1,0 +1,95 @@
+"""The shared analysis-findings schema: envelope, conversions, I/O."""
+
+import pytest
+
+from repro.analysis.findings import (
+    SCHEMA_KIND,
+    SCHEMA_VERSION,
+    Finding,
+    finding_context,
+    findings_doc,
+    from_hazards,
+    from_lint,
+    load_findings,
+    write_findings,
+)
+from repro.analysis.hazards import HazardReport
+from repro.analysis.lint import LintIssue
+
+
+def mk(rule="deadlock-cycle", severity="error", **kw):
+    return Finding(tool="plancheck", rule=rule, severity=severity,
+                   message="msg", **kw)
+
+
+class TestFinding:
+    def test_category_is_first_dash_token(self):
+        assert mk("deadlock-cycle").category == "deadlock"
+        assert mk("conservation-missing").category == "conservation"
+        assert mk("liveness-undefined-read").category == "liveness"
+        assert mk("syntax").category == "syntax"
+
+    def test_str_with_location_is_clickable(self):
+        f = mk(rule="np-fft", file="src/x.py", line=7)
+        assert str(f).startswith("src/x.py:7: ")
+        assert "[plancheck/np-fft]" in str(f)
+
+    def test_str_without_location_omits_prefix(self):
+        assert str(mk()) == "[plancheck/deadlock-cycle] msg"
+
+    def test_to_json_context_becomes_dict(self):
+        f = mk(context=finding_context(G=8, kind="alltoall"))
+        assert f.to_json()["context"] == {"G": 8, "kind": "alltoall"}
+
+    def test_context_pairs_sorted_and_hashable(self):
+        c = finding_context(b=2, a=1)
+        assert c == (("a", 1), ("b", 2))
+        hash(mk(context=c))  # frozen dataclass stays hashable
+
+
+class TestEnvelope:
+    def test_doc_counts(self):
+        doc = findings_doc([mk(), mk(severity="warning")])
+        assert doc["version"] == SCHEMA_VERSION
+        assert doc["kind"] == SCHEMA_KIND
+        assert doc["count"] == 2
+        assert doc["errors"] == 1
+
+    def test_roundtrip(self, tmp_path):
+        p = tmp_path / "findings.json"
+        write_findings(p, [mk(file="a.py", line=3)])
+        doc = load_findings(p)
+        assert doc["count"] == 1
+        row = doc["findings"][0]
+        assert row["rule"] == "deadlock-cycle"
+        assert row["file"] == "a.py"
+        assert row["line"] == 3
+
+    def test_load_rejects_wrong_envelope(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"version": 999, "kind": "analysis-findings"}')
+        with pytest.raises(ValueError):
+            load_findings(p)
+        p.write_text('[1, 2, 3]')
+        with pytest.raises(ValueError):
+            load_findings(p)
+
+
+class TestConversions:
+    def test_from_lint(self):
+        issues = [LintIssue("src/x.py", 9, "np-fft", "nope")]
+        (f,) = from_lint(issues)
+        assert (f.tool, f.rule, f.severity) == ("lint", "np-fft", "error")
+        assert (f.file, f.line) == ("src/x.py", 9)
+
+    def test_from_hazards_defects(self):
+        report = HazardReport(defects=["op ends before it starts"],
+                              num_ops=3, num_edges=2)
+        (f,) = from_hazards(report, context=finding_context(pipeline="fmmfft"))
+        assert f.tool == "hazards"
+        assert f.rule == "hazard-defect"
+        assert f.category == "hazard"
+        assert dict(f.context)["pipeline"] == "fmmfft"
+
+    def test_clean_report_converts_to_nothing(self):
+        assert from_hazards(HazardReport(num_ops=5, num_edges=4)) == []

@@ -217,3 +217,138 @@ class TestFaultInjectionSite:
     def test_unrelated_attribute_ok(self):
         src = HDR + "out = report.outcome(0)\nx = CommFailureReport()\n"
         assert rules(src, "src/repro/serve/scheduler.py") == []
+
+
+class TestDeterministicTime:
+    """Wall clocks and unseeded randomness break replay determinism."""
+
+    PATH = "src/repro/serve/x.py"
+
+    def det(self, src, path=PATH):
+        return [i.rule for i in lint_source(path, HDR + src)
+                if i.rule == "deterministic-time"]
+
+    def test_wall_clock_flagged(self):
+        assert self.det("t = time.time()\n")
+        assert self.det("t = time.time_ns()\n")
+
+    def test_perf_counter_ok(self):
+        # harness timing is fine; only the wall clock breaks replay
+        assert not self.det("t = time.perf_counter()\n")
+
+    def test_datetime_flagged(self):
+        assert self.det("t = datetime.now()\n")
+        assert self.det("t = datetime.datetime.utcnow()\n")
+        assert self.det("d = date.today()\n")
+
+    def test_numpy_global_rng_flagged(self):
+        assert self.det("x = np.random.rand(3)\n")
+        assert self.det("np.random.seed(0)\n")
+        assert self.det("x = np.random.normal(size=4)\n")
+
+    def test_unseeded_default_rng_flagged(self):
+        assert self.det("rng = np.random.default_rng()\n")
+        assert self.det("rng = np.random.default_rng(None)\n")
+        assert self.det("rng = np.random.default_rng(seed=None)\n")
+
+    def test_seeded_default_rng_ok(self):
+        assert not self.det("rng = np.random.default_rng(7)\n")
+        assert not self.det("rng = np.random.default_rng(seed)\n")
+        assert not self.det("rng = np.random.default_rng(seed=cfg.seed)\n")
+
+    def test_stdlib_random_flagged(self):
+        assert self.det("x = random.random()\n")
+        assert self.det("random.shuffle(xs)\n")
+        assert self.det("r = random.Random()\n")
+
+    def test_seeded_stdlib_random_ok(self):
+        assert not self.det("r = random.Random(3)\n")
+
+    def test_generator_method_ok(self):
+        assert not self.det("x = rng.random()\n")
+
+    def test_prng_module_and_benchmarks_exempt(self):
+        assert not self.det("x = np.random.rand(3)\n",
+                            path="src/repro/util/prng.py")
+        assert not self.det("t = time.time()\n",
+                            path="benchmarks/bench_fft.py")
+
+    def test_pragma_waives(self):
+        src = "t = time.time()  # lint: allow-deterministic-time\n"
+        assert not self.det(src)
+
+
+class TestPerRuleWaivers:
+    """`# lint: allow-<rule>` suppresses exactly that rule on exactly
+    that line — a waiver elsewhere, or for another rule, changes nothing."""
+
+    def waiver_case(self, bad_line, rule, path="src/repro/util/x.py",
+                    tail=""):
+        """The line must flag bare, pass waived, and flag again when the
+        waiver sits on a different line."""
+        bare = HDR + bad_line + "\n" + tail
+        assert [i.rule for i in lint_source(path, bare)] == [rule]
+        waived = HDR + bad_line + f"  # lint: allow-{rule}\n" + tail
+        assert lint_source(path, waived) == []
+        elsewhere = HDR + bad_line + "\n" + tail + f"# lint: allow-{rule}\n"
+        assert [i.rule for i in lint_source(path, elsewhere)] == [rule]
+
+    def test_future_annotations(self):
+        # line-1 rule: the pragma must sit on line 1
+        assert lint_source("x.py", "x = 1  # lint: allow-future-annotations\n") == []
+        got = lint_source("x.py", "x = 1\n# lint: allow-future-annotations\n")
+        assert [i.rule for i in got] == ["future-annotations"]
+
+    def test_bare_except(self):
+        src = HDR + "try:\n    pass\nexcept:  # lint: allow-bare-except\n    pass\n"
+        assert lint_source("x.py", src) == []
+        src = HDR + "# lint: allow-bare-except\ntry:\n    pass\nexcept:\n    pass\n"
+        assert [i.rule for i in lint_source("x.py", src)] == ["bare-except"]
+
+    def test_mutable_default(self):
+        self.waiver_case("def f(a=[]):", "mutable-default",
+                         tail="    pass\n")
+
+    def test_np_fft(self):
+        self.waiver_case("y = np.fft.fft(x)", "np-fft")
+
+    def test_dtype_discipline(self):
+        self.waiver_case("a = np.zeros(4)", "dtype-discipline",
+                         path="src/repro/core/x.py")
+
+    def test_launch_declares(self):
+        self.waiver_case("cl.launch(op)", "launch-declares")
+
+    def test_raw_comm(self):
+        self.waiver_case("cl.sendrecv(0, 1, reads=(), writes=('b',))",
+                         "raw-comm", path="src/repro/dfft/x.py")
+
+    def test_serve_plan_cache(self):
+        self.waiver_case("p = FmmFftPlan(n=4)", "serve-plan-cache",
+                         path="src/repro/serve/x.py")
+
+    def test_fault_injection_site(self):
+        self.waiver_case("e = CommFailure('boom')", "fault-injection-site",
+                         path="src/repro/serve/x.py")
+
+    def test_deterministic_time(self):
+        self.waiver_case("t = time.time()", "deterministic-time",
+                         path="src/repro/serve/x.py")
+
+
+class TestUnknownWaiver:
+    def test_unknown_waiver_is_itself_an_issue(self):
+        got = lint_source("x.py", HDR + "x = 1  # lint: allow-bogus-rule\n")
+        assert [i.rule for i in got] == ["unknown-waiver"]
+        assert "allow-bogus-rule" in got[0].message
+
+    def test_typoed_rule_does_not_silently_waive(self):
+        src = HDR + "try:\n    pass\nexcept:  # lint: allow-bare-excpet\n    pass\n"
+        got = sorted(i.rule for i in lint_source("x.py", src))
+        assert got == ["bare-except", "unknown-waiver"]
+
+    def test_known_waivers_are_not_flagged(self):
+        from repro.analysis.lint import RULES
+        for rule in RULES:
+            src = HDR + f"x = 1  # lint: allow-{rule}\n"
+            assert lint_source("x.py", src) == []

@@ -203,3 +203,35 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "serve latency / throughput" in out
         assert "p99" in out and "serve/" in out  # regioned rollup too
+
+
+class TestVerifyCommand:
+    def test_verify_small_matrix_certifies(self, capsys):
+        rc = main(["verify", "--g-list", "2,4", "--no-degraded"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for token in ("algorithm", "verdict", "certified", "plans certified"):
+            assert token in out
+        assert "FAIL" not in out
+
+    def test_verify_json_findings_doc(self, capsys, tmp_path):
+        from repro.analysis.findings import load_findings
+
+        j = tmp_path / "verify.json"
+        rc = main(["verify", "--g-list", "2", "--no-degraded",
+                   "--json", str(j)])
+        assert rc == 0
+        doc = load_findings(j)
+        assert doc["kind"] == "analysis-findings"
+        assert doc["count"] == 0
+
+    def test_analyze_json_findings_doc(self, capsys, tmp_path):
+        from repro.analysis.findings import load_findings
+
+        j = tmp_path / "analyze.json"
+        rc = main(["analyze", "--pipeline", "fft1d", "--n", "2^12",
+                   "--system", "2xP100", "--json", str(j)])
+        assert rc == 0
+        doc = load_findings(j)
+        assert doc["kind"] == "analysis-findings"
+        assert doc["count"] == 0

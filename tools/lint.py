@@ -18,6 +18,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.analysis.findings import from_lint, write_findings  # noqa: E402
 from repro.analysis.lint import lint_paths  # noqa: E402
 
 
@@ -27,6 +28,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="files or directories to lint")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the success line")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the shared analysis-findings "
+                             "JSON document to PATH")
     args = parser.parse_args(argv)
 
     missing = [p for p in args.paths if not Path(p).exists()]
@@ -34,6 +38,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"no such path(s): {', '.join(missing)}")
 
     issues = lint_paths(args.paths)
+    if args.json:
+        write_findings(args.json, from_lint(issues))
     for issue in issues:
         print(issue)
     if issues:
