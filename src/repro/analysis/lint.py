@@ -1,7 +1,7 @@
 """Repo-specific AST lint: the numeric discipline the kernels rely on.
 
-Ten rules, each targeting a failure mode this codebase has actually to
-guard against (run with ``python tools/lint.py src``):
+Eleven rules, each targeting a failure mode this codebase has actually
+to guard against (run with ``python tools/lint.py src``):
 
 ``future-annotations``
     Every module starts with ``from __future__ import annotations`` so
@@ -63,6 +63,15 @@ guard against (run with ``python tools/lint.py src``):
     stray wall-clock read or unseeded sample silently breaks the
     ``repro chaos --replay-check`` bit-identity gate.
 
+``telemetry-registry``
+    Metric series (``CounterSeries`` / ``GaugeSeries`` /
+    ``HistogramSeries``) are constructed only inside
+    :mod:`repro.obs.telemetry` — everyone else goes through a
+    :class:`~repro.obs.telemetry.MetricsRegistry`, whose keyed lookup
+    is what makes snapshots complete and merges deterministic.  A
+    free-floating series never lands in any snapshot, so ``repro top``
+    and the exporters silently under-report.
+
 Any rule can be waived on one line with ``# lint: allow-<rule>``; a
 waiver naming no known rule is itself reported (``unknown-waiver``).
 """
@@ -108,6 +117,12 @@ FAULT_OUTCOME_METHODS = ("message_outcome", "collective_outcome")
 #: the only places allowed to touch wall clocks / unseeded randomness
 DETERMINISTIC_TIME_ALLOWED = ("repro/util/prng.py", "benchmarks/")
 
+#: metric series classes that must be built via the registry
+TELEMETRY_SERIES = ("CounterSeries", "GaugeSeries", "HistogramSeries")
+
+#: the one module allowed to construct series directly (the registry)
+TELEMETRY_ALLOWED = "repro/obs/telemetry.py"
+
 #: every waivable rule; a pragma naming anything else is unknown-waiver
 RULES = (
     "bare-except",
@@ -120,6 +135,7 @@ RULES = (
     "np-fft",
     "raw-comm",
     "serve-plan-cache",
+    "telemetry-registry",
 )
 
 _PRAGMA = re.compile(r"#\s*lint:\s*allow-([a-z0-9-]+)")
@@ -174,6 +190,7 @@ class _Checker(ast.NodeVisitor):
         )
         self.fault_raise_ok = any(frag in p for frag in FAULT_RAISE_ALLOWED)
         self.det_time_ok = any(frag in p for frag in DETERMINISTIC_TIME_ALLOWED)
+        self.telemetry_ok = TELEMETRY_ALLOWED in p
         self._stmt: ast.stmt | None = None
 
     # -- plumbing ------------------------------------------------------
@@ -355,6 +372,23 @@ class _Checker(ast.NodeVisitor):
                 "through repro.serve.cache.PlanCache so wisdom and hit-rate "
                 "accounting stay truthful",
             )
+        # metric series come only from the registry's keyed lookup
+        if not self.telemetry_ok:
+            series = None
+            if isinstance(func, ast.Name) and func.id in TELEMETRY_SERIES:
+                series = func.id
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr in TELEMETRY_SERIES
+            ):
+                series = func.attr
+            if series is not None:
+                self._report(
+                    node, "telemetry-registry",
+                    f"{series} constructed outside repro.obs.telemetry -- "
+                    "get series from a MetricsRegistry "
+                    "(.counter/.gauge/.histogram) so they land in snapshots",
+                )
         if isinstance(func, ast.Attribute):
             # dtype-less allocations in kernel code
             if (

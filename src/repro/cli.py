@@ -317,8 +317,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
-    from repro.obs import build_trace
-    from repro.serve import merge_serve_track, summarize
+    from repro.obs import build_trace, prometheus_text
+    from repro.serve import merge_serve_track, serve_run_doc, summarize
 
     spec = preset(args.system)
     cl, sched = _run_serve(spec, args)
@@ -335,8 +335,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"wisdom saved to {args.wisdom} "
               f"({len(sched.batcher.cache.wisdom)} entries)")
     if args.json:
-        Path(args.json).write_text(rep.to_json())
-        print(f"wrote {args.json}")
+        doc = serve_run_doc(sched, rep)
+        Path(args.json).write_text(json.dumps(doc, indent=1, sort_keys=True))
+        print(f"wrote {args.json} (serve-run v{doc['version']}: report + "
+              f"{len(doc['telemetry']['series'])} telemetry series)")
+    if args.prom:
+        snap = sched.telemetry.snapshot(time=sched.wall_time)
+        Path(args.prom).write_text(prometheus_text(snap))
+        print(f"wrote {args.prom} (Prometheus text exposition)")
     if args.trace_out:
         doc = merge_serve_track(build_trace(cl.ledger, spec), sched)
         Path(args.trace_out).write_text(json.dumps(doc))
@@ -353,8 +359,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import seeded_chaos
     from repro.obs import build_trace, merge_fault_track
     from repro.serve import (AdmissionQueue, Batcher, PlanCache,
-                             ServeScheduler, merge_serve_track, summarize,
-                             synthetic_workload)
+                             ServeScheduler, merge_serve_track, serve_run_doc,
+                             summarize, synthetic_workload)
 
     spec = preset(args.system)
     sizes = None
@@ -401,8 +407,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"{len(inj.events)} fault events)")
     print(rep.render())
     if args.json:
-        Path(args.json).write_text(rep.to_json())
-        print(f"wrote {args.json}")
+        doc = serve_run_doc(sched, rep)
+        Path(args.json).write_text(json.dumps(doc, indent=1, sort_keys=True))
+        print(f"wrote {args.json} (serve-run v{doc['version']}: report + "
+              f"{len(doc['telemetry']['series'])} telemetry series)")
     if args.trace_out:
         doc = merge_fault_track(
             merge_serve_track(build_trace(cl.ledger, spec), sched),
@@ -410,6 +418,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         Path(args.trace_out).write_text(json.dumps(doc))
         print(f"wrote {args.trace_out} ({len(doc['traceEvents'])} events, "
               "serve + fault tracks included)")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """ASCII telemetry dashboard: live serve run or snapshot replay."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import render_dashboard
+    from repro.serve import serve_run_doc
+
+    if args.replay:
+        doc = json.loads(Path(args.replay).read_text())
+    else:
+        spec = preset(args.system)
+        _, sched = _run_serve(spec, args)
+        doc = serve_run_doc(sched)
+    out = render_dashboard(doc)
+    print(out)
+    if args.out:
+        Path(args.out).write_text(out + "\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -726,7 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--sanitize", action="store_true",
                     help="hazard-sanitize the interleaved schedule")
     sv.add_argument("--json", default=None,
-                    help="also write the serve report as JSON to this path")
+                    help="write the versioned serve-run document (report + "
+                         "telemetry snapshot + SLO timeline) to this path")
+    sv.add_argument("--prom", default=None,
+                    help="write the telemetry snapshot in Prometheus text "
+                         "exposition format to this path")
     sv.add_argument("--trace-out", default=None,
                     help="export a Perfetto trace with the serve track")
     sv.set_defaults(fn=cmd_serve)
@@ -765,10 +799,30 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--replay-check", action="store_true",
                     help="run twice and require bit-identical ledgers")
     ch.add_argument("--json", default=None,
-                    help="also write the serve report as JSON to this path")
+                    help="write the versioned serve-run document (report + "
+                         "telemetry snapshot + SLO timeline) to this path")
     ch.add_argument("--trace-out", default=None,
                     help="export a Perfetto trace with serve + fault tracks")
     ch.set_defaults(fn=cmd_chaos)
+
+    tp = sub.add_parser("top", help="ASCII telemetry dashboard for serve")
+    tp.add_argument("--replay", default=None, metavar="PATH",
+                    help="render from a saved serve-run / telemetry-snapshot "
+                         "JSON instead of running a workload")
+    tp.add_argument("--system", default="8xP100", choices=sorted(_PRESETS))
+    tp.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    tp.add_argument("--requests", type=int, default=32)
+    tp.add_argument("--rate", type=float, default=2000.0)
+    tp.add_argument("--sizes", default=None,
+                    help="comma-separated size mix (e.g. '2^16,2^18')")
+    tp.add_argument("--max-batch", type=int, default=8)
+    tp.add_argument("--max-inflight", type=int, default=2)
+    tp.add_argument("--queue-capacity", type=int, default=64)
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--out", default=None,
+                    help="also write the rendered dashboard to this path")
+    tp.set_defaults(fn=cmd_top)
 
     tu = sub.add_parser("tune", help="build a tuning-wisdom file")
     tu.add_argument("--system", default="2xP100", choices=sorted(_PRESETS))

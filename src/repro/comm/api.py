@@ -27,7 +27,12 @@ round ``k+1`` sends after round ``k`` receives).
 
 Every call appends a record to ``cluster.comm_log`` (algorithm, payload,
 predicted time) which :func:`repro.obs.metrics.join_comm_model` joins
-against the ledger for measured-vs-model validation.
+against the ledger for measured-vs-model validation.  When the cluster
+carries a :class:`~repro.obs.telemetry.MetricsRegistry`, each message
+additionally streams live series — ``comm.bytes{link_class=...}``,
+``comm.measured_vs_model{link=...}``, and ``comm.retry{stage=...}`` via
+the :class:`~repro.comm.retry.RetryBudget` — stamped with simulated
+time; with no registry installed none of that code runs.
 
 Fault handling: when the cluster carries a
 :class:`~repro.faults.FaultInjector`, every message (and every bulk
@@ -47,7 +52,7 @@ from typing import Callable, Sequence
 
 from repro.comm import plans as _plans
 from repro.comm import tuning as _tuning
-from repro.comm.retry import CommFailure
+from repro.comm.retry import CommFailure, RetryBudget
 from repro.machine import topology as topo
 from repro.machine.stream import Event
 from repro.util.validation import ParameterError
@@ -100,7 +105,72 @@ def _new_budget(cl):
     """Per-collective-call retry budget, or None on fault-free clusters."""
     if getattr(cl, "faults", None) is None:
         return None
-    return {"spent": 0, "limit": cl.retry.budget}
+    return RetryBudget(cl.retry.budget, telemetry=getattr(cl, "telemetry", None))
+
+
+def _pair_info(cl, src, dst):
+    """Memoized per-pair topology facts for the instrumentation path.
+
+    ``(link_class, pair_latency, pair_bandwidth, link_label)`` — pure
+    functions of the cluster's graph (fault degradation copies the
+    graph via ``degraded_spec`` rather than mutating it, so caching is
+    sound), looked up once per pair instead of once per message.  The
+    memo lives on the cluster so independent runs never share state.
+    """
+    memo = getattr(cl, "_pair_info_memo", None)
+    if memo is None:
+        memo = cl._pair_info_memo = {}
+    info = memo.get((src, dst))
+    if info is None:
+        g = cl.spec.graph
+        info = (
+            topo.link_class(g, src, dst),
+            topo.pair_latency(g, src, dst),
+            topo.pair_bandwidth(g, src, dst),
+            f"{min(src, dst)}-{max(src, dst)}",
+        )
+        memo[(src, dst)] = info
+    return info
+
+
+def _msg_series(cl, tel, cls, link):
+    """Memoized (bytes counter, ratio histogram) for one link.
+
+    Resolving a series through the registry builds a labels dict and a
+    sorted label key every time — pure waste on the per-message hot
+    path.  The memo is guarded by registry identity, so a scheduler
+    that swaps registries on a reused cluster never emits into a stale
+    one.
+    """
+    memo = getattr(cl, "_tel_series_memo", None)
+    if memo is None or memo[0] is not tel:
+        memo = (tel, {})
+        cl._tel_series_memo = memo
+    handles = memo[1]
+    pair = handles.get((cls, link))
+    if pair is None:
+        pair = (tel.counter("comm.bytes", {"link_class": cls}),
+                tel.histogram("comm.measured_vs_model", {"link": link}))
+        handles[(cls, link)] = pair
+    return pair
+
+
+def _instrument_message(cl, tel, src, dst, nbytes, ev, t0, bw, lat):
+    """Emit per-message telemetry (``comm.bytes``, measured-vs-model).
+
+    Measured duration is ``ev.time - t0`` — the record's full priced
+    window including contention and fault stretching — against the lone
+    roofline prediction for the pair, so the per-link ratio is exactly
+    the calibration signal the ROADMAP's feedback loop wants.
+    """
+    cls, pair_lat, pair_bw, link = _pair_info(cl, src, dst)
+    counter, ratio = _msg_series(cl, tel, cls, link)
+    ev_t = ev.time
+    counter.inc(nbytes, t=ev_t)
+    predicted = ((lat if lat is not None else pair_lat)
+                 + nbytes / (bw if bw is not None else pair_bw))
+    if predicted > 0.0 and ev_t > t0:
+        ratio.observe((ev_t - t0) / predicted, t=ev_t)
 
 
 def _dep_time(deps) -> float:
@@ -132,35 +202,44 @@ def _send(cl, src, dst, nbytes, name, deps, fn, reads, writes,
     backoff; device loss or budget exhaustion raises
     :class:`CommFailure`.
     """
+    tel = getattr(cl, "telemetry", None)
     if budget is None or src == dst or cl.G == 1:
-        return cl.sendrecv(src, dst, nbytes, name, after=deps, fn=fn,
-                           reads=list(reads), writes=list(writes),
-                           bandwidth=bw, latency=lat)
+        t0 = _msg_start(cl, src, dst, deps) if tel is not None else 0.0
+        ev = cl.sendrecv(src, dst, nbytes, name, after=deps, fn=fn,
+                         reads=list(reads), writes=list(writes),
+                         bandwidth=bw, latency=lat)
+        if tel is not None and src != dst and cl.G > 1:
+            _instrument_message(cl, tel, src, dst, nbytes, ev, t0, bw, lat)
+        return ev
     inj, policy = cl.faults, cl.retry
     deps = list(deps)
     while True:
         t0 = _msg_start(cl, src, dst, deps)
         outcome = inj.message_outcome(src, dst, name, t0)
         if outcome == "ok":
-            return cl.sendrecv(src, dst, nbytes, name, after=deps, fn=fn,
-                               reads=list(reads), writes=list(writes),
-                               bandwidth=bw, latency=lat)
+            ev = cl.sendrecv(src, dst, nbytes, name, after=deps, fn=fn,
+                             reads=list(reads), writes=list(writes),
+                             bandwidth=bw, latency=lat)
+            if tel is not None:
+                _instrument_message(cl, tel, src, dst, nbytes, ev, t0,
+                                    bw, lat)
+            return ev
         if outcome == "lost":
             raise CommFailure(
                 f"{name}: link {src}->{dst} has a lost endpoint",
                 time=t0, permanent=True,
             )
-        n = budget["spent"]
-        budget["spent"] = n + 1
+        n = budget.spent
         ev = cl.sendrecv(
             src, dst, 0.0, f"{name}!fail", after=deps, fn=None,
             reads=list(reads),
             writes=[f"{w}.fail{n}" for w in writes],
             bandwidth=bw, latency=policy.timeout,
         )
-        if budget["spent"] > budget["limit"]:
+        budget.charge(name, ev.time)
+        if budget.exhausted:
             raise CommFailure(
-                f"{name}: retry budget ({budget['limit']}) exhausted on "
+                f"{name}: retry budget ({budget.limit}) exhausted on "
                 f"link {src}->{dst}",
                 time=ev.time, permanent=False,
             )
@@ -192,8 +271,7 @@ def _collective_gate(cl, name, dep, reads, writes, budget):
         if outcome == "lost":
             raise CommFailure(f"{name}: device lost during collective",
                               time=t0, permanent=True)
-        n = budget["spent"]
-        budget["spent"] = n + 1
+        n = budget.spent
         evs = cl._collective(
             f"{name}!fail", 0.0, dep, None,
             reads=list(reads),
@@ -201,9 +279,10 @@ def _collective_gate(cl, name, dep, reads, writes, budget):
             duration=policy.timeout,
         )
         t_end = max(e.time for e in evs)
-        if budget["spent"] > budget["limit"]:
+        budget.charge(name, t_end)
+        if budget.exhausted:
             raise CommFailure(
-                f"{name}: retry budget ({budget['limit']}) exhausted",
+                f"{name}: retry budget ({budget.limit}) exhausted",
                 time=t_end, permanent=False,
             )
         dep = dep + [Event(t_end + policy.delay(name, n), f"{name}.backoff")]
@@ -305,6 +384,11 @@ def alltoall(
                 writes=wrs,
             )
         _log(cl, name, "alltoall", "bulk", bytes_sent_per_device, chunks)
+        tel = getattr(cl, "telemetry", None)
+        if tel is not None and cl.G > 1:
+            tel.counter("comm.bytes", {"link_class": "bulk"}).inc(
+                bytes_sent_per_device * cl.G,
+                t=max(e.time for e in events))
         return events
 
     touch: list = [None] * cl.G
@@ -351,6 +435,10 @@ def allgather(
         events = cl.allgather(bytes_per_device, name, after=dep, fn=fn,
                               reads=list(reads), writes=list(writes))
         _log(cl, name, "allgather", "bulk", bytes_per_device)
+        tel = getattr(cl, "telemetry", None)
+        if tel is not None and cl.G > 1:
+            tel.counter("comm.bytes", {"link_class": "bulk"}).inc(
+                bytes_per_device * cl.G, t=max(e.time for e in events))
         return events
 
     per_dev, extra = _normalize_after(after, cl.G)

@@ -100,5 +100,36 @@ class RetryPolicy:
         return base * (1.0 + self.jitter * _unit(self.seed, name, attempt))
 
 
+class RetryBudget:
+    """Mutable failed-attempt budget for one collective call.
+
+    The comm layer charges one unit per timed-out attempt; exhausting
+    the budget is the :class:`CommFailure` trigger.  Each charge is
+    also the ``comm.retry{stage=...}`` telemetry emission point — the
+    stage label is the last dot-component of the op name, so batch
+    namespaces (``serve.b3.transpose`` → ``transpose``) stay bounded.
+    """
+
+    __slots__ = ("limit", "spent", "telemetry")
+
+    def __init__(self, limit: int, telemetry=None):
+        self.limit = limit
+        self.spent = 0
+        self.telemetry = telemetry
+
+    def charge(self, name: str, t: float) -> None:
+        """Record one failed attempt of ``name`` detected at time ``t``."""
+        self.spent += 1
+        if self.telemetry is not None:
+            self.telemetry.counter(
+                "comm.retry", {"stage": name.rsplit(".", 1)[-1]}
+            ).inc(1.0, t=t)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once more than ``limit`` attempts have failed."""
+        return self.spent > self.limit
+
+
 #: policy used when a cluster has faults installed but no explicit policy
 DEFAULT_RETRY = RetryPolicy()

@@ -68,10 +68,16 @@ class VirtualCluster:
         Optional :class:`~repro.comm.retry.RetryPolicy` governing the
         comm layer's timeout/backoff/budget.  Defaults to
         ``DEFAULT_RETRY`` whenever ``faults`` is installed.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.MetricsRegistry`.  When
+        installed, the comm layer emits ``comm.bytes`` /
+        ``comm.retry`` / ``comm.measured_vs_model`` series (stamped
+        with simulated time).  None (the default) keeps the bare
+        cluster's hot path free of any instrumentation.
     """
 
     def __init__(self, spec: ClusterSpec, execute: bool = True,
-                 faults=None, retry=None):
+                 faults=None, retry=None, telemetry=None):
         self.spec = spec
         self.execute = execute
         if faults is not None and faults.spec.num_devices != spec.num_devices:
@@ -87,6 +93,8 @@ class VirtualCluster:
 
             retry = DEFAULT_RETRY
         self.retry = retry
+        #: live metrics registry, or None (serve installs one)
+        self.telemetry = telemetry
         self.devices = [
             Device(g, spec.device, execute=execute) for g in range(spec.num_devices)
         ]

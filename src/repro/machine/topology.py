@@ -126,6 +126,23 @@ def pair_latency(graph: nx.Graph, a: int, b: int) -> float:
     return fallback_link(graph).latency
 
 
+def link_class(graph: nx.Graph, a: int, b: int) -> str:
+    """Coarse label for the path an a->b message crosses.
+
+    ``"self"`` (no wire), ``"inter-node"`` (endpoints on different
+    nodes of a multi-node graph), ``"direct"`` (a dedicated edge), or
+    ``"fallback"`` (the shared fallback interface).  This is the
+    ``link_class`` label on the ``comm.bytes`` telemetry series —
+    bounded cardinality, unlike per-pair labels.
+    """
+    if a == b:
+        return "self"
+    node_of = graph.graph.get("node_of")
+    if node_of is not None and node_of.get(a) != node_of.get(b):
+        return "inter-node"
+    return "direct" if graph.has_edge(a, b) else "fallback"
+
+
 def alltoall_effective_bandwidth(graph: nx.Graph, efficiency: float = ALLTOALL_EFFICIENCY) -> float:
     """Per-device effective injection bandwidth for personalized all-to-all.
 

@@ -21,11 +21,19 @@ predictions.  This package gives the simulator the same toolchain:
   comm/compute overlap and exposed-comm accounting, and critical-path
   extraction with per-op slack over the happens-before graph;
 - :mod:`repro.obs.bench` — the ``BENCH_obs.json`` harness recording the
-  perf trajectory per testbed.
+  perf trajectory per testbed;
+- :mod:`repro.obs.telemetry` — the *live* side: a process-wide metrics
+  registry (counters, gauges, streaming histograms on a fixed
+  log-spaced grid) every serve run emits into, with versioned snapshot
+  / diff documents and Prometheus text exposition;
+- :mod:`repro.obs.slo` — windowed availability objectives with
+  multi-window burn-rate alerting over the registry;
+- :mod:`repro.obs.top` — the ``repro top`` ASCII dashboard rendered
+  from a snapshot or serve-run document.
 
 CLI entry points: ``repro metrics``, ``repro profile --trace-out``,
-``repro transform --trace-out``, ``python -m repro.obs``.  See
-``docs/OBSERVABILITY.md``.
+``repro transform --trace-out``, ``repro top``, ``python -m repro.obs``.
+See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -55,25 +63,49 @@ from repro.obs.perfetto import (
     validate_trace,
 )
 from repro.obs.region import region
+from repro.obs.slo import SloAlert, SloObjective, SloTracker
+from repro.obs.telemetry import (
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricsRegistry,
+    bucket_bounds,
+    diff_snapshots,
+    load_snapshot,
+    prometheus_text,
+)
+from repro.obs.top import render_dashboard
 
 __all__ = [
     "CommJoin",
+    "CounterSeries",
     "CriticalPath",
+    "GaugeSeries",
+    "HistogramSeries",
+    "MetricsRegistry",
     "MetricsReport",
     "ModelJoin",
     "OverlapStats",
     "RetryStats",
+    "SloAlert",
+    "SloObjective",
+    "SloTracker",
     "StageStat",
+    "bucket_bounds",
     "build_trace",
     "compute_metrics",
     "critical_path",
+    "diff_snapshots",
     "fault_track_events",
     "join_comm_model",
     "join_fmm_model",
+    "load_snapshot",
     "merge_fault_track",
     "overlap_stats",
     "overlap_summary",
+    "prometheus_text",
     "region",
+    "render_dashboard",
     "retry_stats",
     "rollup",
     "save_trace",

@@ -1,0 +1,151 @@
+"""Windowed SLO tracking with multi-window burn-rate alerts.
+
+The serve tier's objective is availability against the deadline
+targets: the fraction of completed requests in a class that finished
+within their target.  :class:`SloTracker` watches that fraction over
+two rolling windows of simulated time — the SRE multi-window pattern
+(short window for fast detection, long window to reject blips) scaled
+from human 5m/1h horizons down to the simulator's millisecond traces —
+and converts it to a **burn rate**: the observed miss fraction divided
+by the error budget (``1 - objective``).  Burn 1.0 spends the budget
+exactly at the objective's pace; a run sustained at burn ≥
+``burn_threshold`` in *both* windows trips an alert, which clears when
+the short window recovers.
+
+Every :meth:`SloTracker.record` feeds the telemetry registry
+(``slo.burn_rate{class=,window=}`` gauges, ``slo.alerts{class=,kind=}``
+counters) at the completion's simulated time, and the trigger/clear
+timeline lands in :attr:`SloTracker.alerts` — exported to the serve
+Perfetto track by :func:`repro.serve.stats.serve_trace_events` and to
+the ``serve-run`` JSON document, where the replay-bit-identity
+acceptance test pins it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.util.validation import ParameterError
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """Availability objective + alerting windows for one deadline class.
+
+    Attributes
+    ----------
+    availability:
+        Target fraction of completions inside the deadline (error
+        budget is ``1 - availability``).
+    short_window, long_window:
+        Rolling windows in simulated seconds; the long window must not
+        be shorter than the short one.
+    burn_threshold:
+        Burn rate both windows must reach to trigger an alert.
+    """
+
+    availability: float = 0.9
+    short_window: float = 5e-3
+    long_window: float = 25e-3
+    burn_threshold: float = 2.0
+
+    def __post_init__(self):
+        if not 0.0 < self.availability < 1.0:
+            raise ParameterError(
+                f"availability must be in (0, 1), got {self.availability!r}"
+            )
+        if self.short_window <= 0.0 or self.long_window < self.short_window:
+            raise ParameterError(
+                "windows must satisfy 0 < short <= long, got "
+                f"({self.short_window!r}, {self.long_window!r})"
+            )
+        if self.burn_threshold <= 0.0:
+            raise ParameterError(
+                f"burn_threshold must be > 0, got {self.burn_threshold!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SloAlert:
+    """One burn-rate alert transition (trigger or clear)."""
+
+    time: float
+    deadline_class: str
+    kind: str  # "trigger" | "clear"
+    short_burn: float
+    long_burn: float
+
+
+class SloTracker:
+    """Rolling per-class availability objectives over a served trace.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.telemetry.MetricsRegistry` burn-rate
+        gauges and alert counters are emitted into.
+    objectives:
+        Per-class :class:`SloObjective`; missing classes get the
+        default objective.
+    """
+
+    def __init__(self, registry, objectives: dict[str, SloObjective] | None = None):
+        # local import: serve.scheduler imports this module, so pulling
+        # serve.request at module scope would close an import cycle
+        from repro.serve.request import DEADLINE_CLASSES
+
+        self.registry = registry
+        self.objectives = {
+            cls: (objectives or {}).get(cls, SloObjective())
+            for cls in DEADLINE_CLASSES
+        }
+        #: trigger/clear transitions in completion order
+        self.alerts: list[SloAlert] = []
+        self._events: dict[str, list[tuple[float, bool]]] = {
+            cls: [] for cls in DEADLINE_CLASSES
+        }
+        self._active: dict[str, bool] = {cls: False for cls in DEADLINE_CLASSES}
+
+    def _burn(self, cls: str, now: float, window: float) -> float:
+        obj = self.objectives[cls]
+        evs = self._events[cls]
+        inside = [ok for t, ok in evs if t > now - window]
+        if not inside:
+            return 0.0
+        miss = sum(1 for ok in inside if not ok) / len(inside)
+        return miss / (1.0 - obj.availability)
+
+    def record(self, cls: str, t: float, ok: bool) -> None:
+        """Feed one completion: class, simulated finish time, in-SLO?"""
+        obj = self.objectives[cls]
+        evs = self._events[cls]
+        evs.append((t, ok))
+        cutoff = t - obj.long_window
+        while evs and evs[0][0] <= cutoff:
+            evs.pop(0)
+        short = self._burn(cls, t, obj.short_window)
+        long_ = self._burn(cls, t, obj.long_window)
+        reg = self.registry
+        reg.gauge("slo.burn_rate", {"class": cls, "window": "short"}).set(short, t=t)
+        reg.gauge("slo.burn_rate", {"class": cls, "window": "long"}).set(long_, t=t)
+        if not self._active[cls] and (
+            short >= obj.burn_threshold and long_ >= obj.burn_threshold
+        ):
+            self._active[cls] = True
+            self.alerts.append(SloAlert(t, cls, "trigger", short, long_))
+            reg.counter("slo.alerts", {"class": cls, "kind": "trigger"}).inc(1.0, t=t)
+        elif self._active[cls] and short < obj.burn_threshold:
+            self._active[cls] = False
+            self.alerts.append(SloAlert(t, cls, "clear", short, long_))
+            reg.counter("slo.alerts", {"class": cls, "kind": "clear"}).inc(1.0, t=t)
+
+    def active(self, cls: str) -> bool:
+        """True while the class's burn-rate alert is firing."""
+        return self._active[cls]
+
+    def to_json(self) -> dict:
+        """JSON-ready objectives + alert timeline for the serve-run doc."""
+        return {
+            "objectives": {cls: asdict(o) for cls, o in self.objectives.items()},
+            "alerts": [asdict(a) for a in self.alerts],
+        }

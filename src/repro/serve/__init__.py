@@ -17,9 +17,15 @@ transform requests the way an inference server serves tokens:
   with graceful degradation under injected faults (failed batches
   re-enqueue within retry budgets and deadline targets, replanned
   against the degraded topology — see ``docs/FAULTS.md``);
-- :mod:`repro.serve.stats` — latency percentiles, throughput, hit
-  rates, deadline-miss and retry accounting, and the Perfetto serve
-  track.
+- :mod:`repro.serve.stats` — latency percentiles (nearest-rank),
+  throughput, hit rates, deadline-miss and retry accounting, the
+  Perfetto serve track, and the versioned ``serve-run`` JSON document.
+
+Live telemetry: every scheduler run streams into a
+:class:`~repro.obs.telemetry.MetricsRegistry` (queue depth, latency
+histograms, cache/comm/fault counters) with a windowed
+:class:`~repro.obs.slo.SloTracker` on top — see ``repro top`` and the
+"Live telemetry vs post-hoc traces" section of ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.serve.scheduler import ServeScheduler
 from repro.serve.stats import (
     ServeReport,
     merge_serve_track,
+    serve_run_doc,
     serve_trace_events,
     summarize,
 )
@@ -55,6 +62,7 @@ __all__ = [
     "TransformRequest",
     "Wisdom",
     "merge_serve_track",
+    "serve_run_doc",
     "serve_trace_events",
     "spec_fingerprint",
     "summarize",

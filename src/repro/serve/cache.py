@@ -173,6 +173,23 @@ class PlanCache:
         self.wisdom_hits = 0
         self.wisdom_misses = 0
         self.searches = 0
+        #: optional MetricsRegistry (see :meth:`attach_telemetry`)
+        self.telemetry = None
+        #: simulated time the next counter emission is stamped with —
+        #: the batcher sets it before each resolve (the cache's own
+        #: methods carry no time parameter)
+        self.sim_now = 0.0
+
+    def attach_telemetry(self, registry) -> None:
+        """Stream cache counters (``cache.plan_hit`` / ``cache.plan_miss``
+        / ``cache.wisdom_hit`` / ``cache.wisdom_miss`` /
+        ``cache.search``) into a metrics registry, stamped with
+        :attr:`sim_now`."""
+        self.telemetry = registry
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(name).inc(1.0, t=self.sim_now)
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -186,11 +203,14 @@ class PlanCache:
         hit = self.wisdom.get(self.spec, N, dtype)
         if hit is not None:
             self.wisdom_hits += 1
+            self._count("cache.wisdom_hit")
             return hit["params"], hit["comm_algorithm"], 0.0
         self.wisdom_misses += 1
+        self._count("cache.wisdom_miss")
         t = 0.0
         if self.autotune and self.spec.num_devices > 1:
             self.searches += 1
+            self._count("cache.search")
             t += SEARCH_SETUP_TIME
             result = find_fastest(N, self.spec, dtype=dtype)
             params, best_time = dict(result.params), result.fmmfft_time
@@ -219,9 +239,11 @@ class PlanCache:
         plan = self._plans.get(key)
         if plan is not None:
             self.plan_hits += 1
+            self._count("cache.plan_hit")
             self._plans.move_to_end(key)
             return plan, alg, t
         self.plan_misses += 1
+        self._count("cache.plan_miss")
         plan = FmmFftPlan.create(
             N=N, G=self.spec.num_devices, dtype=dtype,
             build_operators=self.build_operators, **params,

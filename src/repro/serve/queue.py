@@ -51,22 +51,54 @@ class AdmissionQueue:
         self.admitted: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
         #: (time, depth) samples at every admission/shed/drain
         self.depth_samples: list[tuple[float, int]] = [(0.0, 0)]
+        #: queued requests per class, maintained incrementally so the
+        #: per-change telemetry sample never rescans the queue
+        self._class_depth: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
+        #: optional MetricsRegistry (see :meth:`attach_telemetry`)
+        self.telemetry = None
+        self._depth_gauges: dict[str, object] = {}
+        self._shed_counters: dict[str, object] = {}
+
+    def attach_telemetry(self, registry) -> None:
+        """Stream queue state into a metrics registry.
+
+        Every state change re-emits the per-class
+        ``serve.queue_depth{class=...}`` gauges, and shed arrivals
+        increment ``serve.shed{class=...}`` — all stamped with the
+        simulated time of the change.  Series handles are resolved once
+        here; the per-change path touches no registry lookups.
+        """
+        self.telemetry = registry
+        self._depth_gauges = {
+            c: registry.gauge("serve.queue_depth", {"class": c})
+            for c in DEADLINE_CLASSES
+        }
+        self._shed_counters = {
+            c: registry.counter("serve.shed", {"class": c})
+            for c in DEADLINE_CLASSES
+        }
 
     def __len__(self) -> int:
         return len(self._items)
 
     def _sample(self, now: float) -> None:
         self.depth_samples.append((now, len(self._items)))
+        if self.telemetry is not None:
+            for c, gauge in self._depth_gauges.items():
+                gauge.set(self._class_depth[c], t=now)
 
     def offer(self, req: TransformRequest, now: float) -> bool:
         """Admit ``req`` at time ``now``; False means shed (queue full)."""
         if len(self._items) >= self.capacity:
             self.shed[req.deadline] += 1
+            if self.telemetry is not None:
+                self._shed_counters[req.deadline].inc(1.0, t=now)
             self._sample(now)
             return False
         self._items.append((self._next_seq, req))
         self._next_seq += 1
         self.admitted[req.deadline] += 1
+        self._class_depth[req.deadline] += 1
         self._sample(now)
         return True
 
@@ -104,5 +136,7 @@ class AdmissionQueue:
         group = group[:limit]
         taken = set(seq for seq, _ in group)
         self._items = [e for e in self._items if e[0] not in taken]
+        for _, req in group:
+            self._class_depth[req.deadline] -= 1
         self._sample(now)
         return [req for _, req in group]

@@ -32,6 +32,13 @@ injector's *degraded* topology via the ``auto`` selector, so a run
 with a throttled link switches algorithms instead of hammering the
 dead link.  All retry/shed accounting lands in
 :class:`~repro.serve.stats.ServeReport`.
+
+Every run also streams *live* telemetry: the scheduler owns (or is
+given) a :class:`~repro.obs.telemetry.MetricsRegistry`, wires it into
+the cluster's comm layer, the admission queue, the plan cache, and the
+fault injector, and feeds per-completion latency/deadline series plus a
+windowed :class:`~repro.obs.slo.SloTracker` — all stamped with
+simulated time, so instrumented runs replay bit-identically.
 """
 
 from __future__ import annotations
@@ -44,6 +51,8 @@ from repro.core.distributed import FmmFftDistributed
 from repro.core.single import fmmfft_batched
 from repro.machine.cluster import VirtualCluster
 from repro.machine.stream import Event
+from repro.obs.slo import SloTracker
+from repro.obs.telemetry import MetricsRegistry
 from repro.serve.batcher import Batch, Batcher
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import (
@@ -84,6 +93,16 @@ class ServeScheduler:
         request already past its target is shed rather than retried,
         and the stats layer counts completions past it as deadline
         misses.
+    telemetry:
+        The :class:`~repro.obs.telemetry.MetricsRegistry` the run
+        streams into.  None builds a fresh enabled registry (pass
+        ``MetricsRegistry(enabled=False)`` for the zero-instrumentation
+        arm).  The scheduler wires it into the cluster, the queue, the
+        plan cache, and any installed fault injector, so every
+        emission point shares one registry.
+    slo:
+        The :class:`~repro.obs.slo.SloTracker` fed per completion;
+        None builds one with default objectives over ``telemetry``.
     """
 
     def __init__(
@@ -95,6 +114,8 @@ class ServeScheduler:
         compute_outputs: bool = False,
         retry_budget: int = 2,
         deadline_targets: dict[str, float] | None = None,
+        telemetry: MetricsRegistry | None = None,
+        slo: SloTracker | None = None,
     ):
         if cluster.execute:
             raise ParameterError(
@@ -130,6 +151,16 @@ class ServeScheduler:
                                  if deadline_targets is None
                                  else dict(deadline_targets))
         self.faults = cluster.faults
+        #: the run's live metrics registry, shared by every emission
+        #: point (cluster comm layer, queue, cache, fault injector)
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        cluster.telemetry = self.telemetry
+        self.queue.attach_telemetry(self.telemetry)
+        batcher.cache.attach_telemetry(self.telemetry)
+        if self.faults is not None:
+            self.faults.attach_telemetry(self.telemetry)
+        #: windowed burn-rate tracker fed at every completion
+        self.slo = slo if slo is not None else SloTracker(self.telemetry)
         #: rid -> output vector (only with ``compute_outputs``)
         self.outputs: dict[int, np.ndarray] = {}
         #: per-batch telemetry: {bid, k, N, release, finish, setup_time,
@@ -199,11 +230,22 @@ class ServeScheduler:
             bid=batch.bid, k=batch.k, N=batch.plan.N, release=release,
             finish=finish, setup_time=batch.setup_time, failed=False,
         ))
+        tel = self.telemetry
+        tel.histogram("serve.batch_latency").observe(
+            max(0.0, finish - now), t=finish)
         for r in batch.requests:
             self.completed.append(CompletedRequest(
                 request=r, batch_id=batch.bid, batch_size=batch.k,
                 release=release, finish=finish,
             ))
+            lat = finish - r.arrival
+            tel.histogram("serve.request_latency",
+                          {"class": r.deadline}).observe(lat, t=finish)
+            ok = lat <= self.deadline_targets[r.deadline]
+            if not ok:
+                tel.counter("serve.deadline_miss",
+                            {"class": r.deadline}).inc(1.0, t=finish)
+            self.slo.record(r.deadline, finish, ok)
         return finish
 
     def _fail(self, batch: Batch, release: float, start_idx: int,
@@ -212,6 +254,8 @@ class ServeScheduler:
         recs = list(self.cluster.ledger)[start_idx:]
         fail_time = max([r.end for r in recs] + [exc.time, release])
         self.failed_batches += 1
+        tel = self.telemetry
+        tel.counter("serve.batch_failed").inc(1.0, t=fail_time)
         self.batches.append(dict(
             bid=batch.bid, k=batch.k, N=batch.plan.N, release=release,
             finish=fail_time, setup_time=batch.setup_time, failed=True,
@@ -222,8 +266,15 @@ class ServeScheduler:
             late = fail_time - r.arrival > self.deadline_targets[r.deadline]
             if exc.permanent or n > self.retry_budget or late:
                 self.retry_shed[r.deadline] += 1
+                tel.counter("serve.retry_shed",
+                            {"class": r.deadline}).inc(1.0, t=fail_time)
+                # a shed request is an availability miss, not a latency
+                # sample — feed the SLO, skip the latency histogram
+                self.slo.record(r.deadline, fail_time, False)
             else:
                 self.retried[r.deadline] += 1
+                tel.counter("serve.retry",
+                            {"class": r.deadline}).inc(1.0, t=fail_time)
                 self._retry_pending.append((fail_time, r))
         return fail_time
 

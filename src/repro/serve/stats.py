@@ -16,6 +16,7 @@ the same Perfetto timeline as the kernels and collectives they caused.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -29,11 +30,26 @@ SERVE_PID = 99
 
 
 def _percentiles(xs: list[float]) -> dict[str, float]:
+    """Nearest-rank percentiles (not interpolated).
+
+    The p-th percentile of n samples is the ``ceil(p/100 * n)``-th
+    smallest — an *observed* value.  Linear interpolation (the old
+    ``np.percentile`` default) invents a value below the true tail on
+    small samples: p99 of 100 latencies interpolated between the 99th
+    and 100th order statistics under-reports the worst observed
+    request.  Nearest-rank is also exactly the discipline the telemetry
+    histogram's :meth:`~repro.obs.telemetry.HistogramSeries.quantile`
+    uses, so the two agree within one bucket's width.
+    """
     if not xs:
         return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-    arr = np.asarray(xs, dtype=np.float64)
-    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
-    return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+    arr = sorted(xs)
+    n = len(arr)
+
+    def rank(q: float) -> float:
+        return arr[min(n, max(1, math.ceil(q * n))) - 1]
+
+    return {"p50": rank(0.50), "p95": rank(0.95), "p99": rank(0.99)}
 
 
 @dataclass(frozen=True)
@@ -183,12 +199,82 @@ def summarize(sched: ServeScheduler) -> ServeReport:
     )
 
 
+#: bumped whenever the serve-run JSON envelope changes incompatibly
+RUN_SCHEMA_VERSION = 1
+
+#: ``repro serve --json`` / ``repro chaos --json`` envelope kind tag
+RUN_SCHEMA_KIND = "serve-run"
+
+
+def serve_run_doc(sched: ServeScheduler,
+                  report: ServeReport | None = None) -> dict:
+    """One versioned document for a served trace: report + telemetry.
+
+    The shared-schema envelope ``repro serve --json`` and ``repro chaos
+    --json`` emit::
+
+        {"version": 1, "kind": "serve-run",
+         "report": {...ServeReport...},
+         "telemetry": {...telemetry-snapshot...},
+         "slo": {"objectives": {...}, "alerts": [...]}}
+
+    ``repro top --replay`` renders a dashboard from exactly this
+    document; the snapshot's quantiles re-derive the report's
+    percentiles within one histogram bucket.
+    """
+    rep = report if report is not None else summarize(sched)
+    return {
+        "version": RUN_SCHEMA_VERSION,
+        "kind": RUN_SCHEMA_KIND,
+        "report": asdict(rep),
+        "telemetry": sched.telemetry.snapshot(time=sched.wall_time),
+        "slo": sched.slo.to_json(),
+    }
+
+
+def _slo_alert_events(sched: ServeScheduler) -> list[dict]:
+    """SLO burn-rate alert windows as X spans on the serve track.
+
+    Consecutive trigger→clear transitions per class become one span; a
+    still-firing alert spans to the run's wall time.  (The Perfetto
+    validator whitelists X/M/C/s/t/f shapes — no instant events.)
+    """
+    alerts = getattr(getattr(sched, "slo", None), "alerts", None)
+    if not alerts:
+        return []
+    events: list[dict] = [
+        {"name": "thread_name", "ph": "M", "pid": SERVE_PID, "tid": 1,
+         "args": {"name": "slo alerts"}},
+    ]
+    open_at: dict[str, object] = {}
+    spans: list[tuple] = []
+    for a in alerts:
+        if a.kind == "trigger":
+            open_at[a.deadline_class] = a
+        elif a.deadline_class in open_at:
+            spans.append((open_at.pop(a.deadline_class), a.time))
+    wall = sched.wall_time
+    for a in open_at.values():
+        spans.append((a, max(wall, a.time)))
+    for a, end in sorted(spans, key=lambda s: (s[0].time, s[0].deadline_class)):
+        events.append({
+            "name": f"slo burn {a.deadline_class}",
+            "ph": "X", "pid": SERVE_PID, "tid": 1,
+            "ts": a.time * 1e6,
+            "dur": max(0.0, end - a.time) * 1e6,
+            "args": {"class": a.deadline_class,
+                     "short_burn": a.short_burn, "long_burn": a.long_burn},
+        })
+    return events
+
+
 def serve_trace_events(sched: ServeScheduler) -> list[dict]:
     """Chrome-trace events for the serve track (pid :data:`SERVE_PID`).
 
     One metadata pair names the process/thread, each batch becomes an X
-    span over its device-occupancy window (release to finish), and every
-    queue-depth sample becomes a C counter point — all shapes that
+    span over its device-occupancy window (release to finish), every
+    queue-depth sample becomes a C counter point, and SLO burn-rate
+    alert windows land as X spans on a second thread — all shapes that
     :func:`repro.obs.perfetto.validate_trace` accepts.
     """
     events: list[dict] = [
@@ -197,6 +283,7 @@ def serve_trace_events(sched: ServeScheduler) -> list[dict]:
         {"name": "thread_name", "ph": "M", "pid": SERVE_PID, "tid": 0,
          "args": {"name": "batches"}},
     ]
+    events.extend(_slo_alert_events(sched))
     for b in sched.batches:
         events.append({
             "name": f"batch {b['bid']} (k={b['k']}, N={b['N']})",

@@ -45,6 +45,41 @@ def ascii_bar_chart(
     return "\n".join(lines)
 
 
+#: sparkline shade ramp, lightest to darkest (pure ASCII, no unicode)
+SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a one-line density sparkline of a value sequence.
+
+    Values are min-max normalized onto the :data:`SPARK_CHARS` ramp.
+    When there are more values than columns, each column shows the max
+    of its slice (peaks survive downsampling); with fewer, the series
+    is left-aligned.  A flat series renders at the lowest non-blank
+    level so "present but constant" is distinguishable from "empty".
+    """
+    if not values:
+        return ""
+    vals = [float(v) for v in values]
+    if len(vals) > width:
+        cols = []
+        for c in range(width):
+            lo = c * len(vals) // width
+            hi = max(lo + 1, (c + 1) * len(vals) // width)
+            cols.append(max(vals[lo:hi]))
+        vals = cols
+    vmin, vmax = min(vals), max(vals)
+    span = vmax - vmin
+    out = []
+    for v in vals:
+        if span <= 0:
+            out.append(SPARK_CHARS[1])
+            continue
+        t = (v - vmin) / span
+        out.append(SPARK_CHARS[1 + int(round(t * (len(SPARK_CHARS) - 2)))])
+    return "".join(out)
+
+
 def ascii_series(
     x: Sequence[float],
     series: Mapping[str, Sequence[float]],

@@ -278,6 +278,41 @@ class TestDeterministicTime:
         assert not self.det(src)
 
 
+class TestTelemetryRegistry:
+    COUNTER = HDR + "s = CounterSeries('comm.bytes')\n"
+    GAUGE = HDR + "s = GaugeSeries('serve.queue_depth')\n"
+    HIST = HDR + "s = telemetry.HistogramSeries('serve.batch_latency')\n"
+
+    def test_direct_construction_flagged(self):
+        for src in (self.COUNTER, self.GAUGE, self.HIST):
+            assert rules(src, "src/repro/serve/scheduler.py") == [
+                "telemetry-registry"
+            ], src
+            assert rules(src, "src/repro/comm/api.py") == [
+                "telemetry-registry"
+            ], src
+
+    def test_registry_module_exempt(self):
+        for src in (self.COUNTER, self.GAUGE, self.HIST):
+            assert rules(src, "src/repro/obs/telemetry.py") == [], src
+
+    def test_registry_lookup_ok(self):
+        src = HDR + "s = reg.counter('comm.bytes', {'link_class': 'direct'})\n"
+        assert rules(src, "src/repro/comm/api.py") == []
+
+    def test_unrelated_names_ok(self):
+        # collections.Counter and lookalike names must not trip it
+        src = HDR + "from collections import Counter\nc = Counter()\n"
+        assert rules(src, "src/repro/machine/topology.py") == []
+        src = HDR + "x = MyCounterSeriesFactory()\n"
+        assert rules(src, "src/repro/serve/queue.py") == []
+
+    def test_pragma_waives(self):
+        src = HDR + ("s = CounterSeries('x.y')"
+                     "  # lint: allow-telemetry-registry\n")
+        assert rules(src, "src/repro/serve/scheduler.py") == []
+
+
 class TestPerRuleWaivers:
     """`# lint: allow-<rule>` suppresses exactly that rule on exactly
     that line — a waiver elsewhere, or for another rule, changes nothing."""
@@ -333,6 +368,10 @@ class TestPerRuleWaivers:
 
     def test_deterministic_time(self):
         self.waiver_case("t = time.time()", "deterministic-time",
+                         path="src/repro/serve/x.py")
+
+    def test_telemetry_registry(self):
+        self.waiver_case("s = GaugeSeries('q.depth')", "telemetry-registry",
                          path="src/repro/serve/x.py")
 
 

@@ -176,8 +176,14 @@ class TestServeCommand:
         assert main(self.ARGS + ["--wisdom", wisdom, "--json", j]) == 0
         warm = capsys.readouterr().out
         assert "0 searches" in warm
-        rep = json.loads((tmp_path / "rep.json").read_text())
+        doc = json.loads((tmp_path / "rep.json").read_text())
+        assert doc["kind"] == "serve-run" and doc["version"] == 1
+        rep = doc["report"]
         assert rep["searches"] == 0 and rep["wisdom_misses"] == 0
+        # the snapshot rides along with the cache counters mirrored
+        names = {row["name"] for row in doc["telemetry"]["series"]}
+        assert "cache.plan_hit" in names and "serve.request_latency" in names
+        assert "cache.search" not in names  # warm start never searched
 
     def test_serve_sanitize_and_trace(self, capsys, tmp_path):
         import json
@@ -203,6 +209,57 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "serve latency / throughput" in out
         assert "p99" in out and "serve/" in out  # regioned rollup too
+
+
+class TestTopCommand:
+    ARGS = ["top", "--system", "2xP100", "--requests", "8",
+            "--rate", "5000", "--sizes", "2^14"]
+
+    def test_top_live_dashboard(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        for token in ("repro top", "queue depth", "plan cache",
+                      "slo burn rate"):
+            assert token in out
+
+    def test_top_replay_matches_serve_json(self, capsys, tmp_path):
+        """`repro top --replay` of a serve --json doc renders the same
+        dashboard the equivalent live run prints."""
+        j = str(tmp_path / "run.json")
+        serve_args = ["serve"] + self.ARGS[1:] + ["--json", j]
+        assert main(serve_args) == 0
+        capsys.readouterr()
+        out_file = tmp_path / "top.txt"
+        assert main(["top", "--replay", j, "--out", str(out_file)]) == 0
+        live = capsys.readouterr().out
+        assert "repro top" in live
+        # --out captures exactly what was printed (plus trailing newline)
+        assert out_file.read_text().rstrip("\n") in live
+
+    def test_top_replay_rejects_non_telemetry_json(self, tmp_path):
+        import json
+
+        p = tmp_path / "bogus.json"
+        p.write_text(json.dumps({"kind": "something-else"}))
+        from repro.util.validation import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["top", "--replay", str(p)])
+
+
+class TestChaosJson:
+    def test_chaos_json_is_a_serve_run_doc(self, capsys, tmp_path):
+        import json
+
+        j = tmp_path / "chaos.json"
+        assert main(["chaos", "--system", "2xP100", "--requests", "8",
+                     "--rate", "5000", "--sizes", "2^14",
+                     "--json", str(j)]) == 0
+        doc = json.loads(j.read_text())
+        assert doc["kind"] == "serve-run" and doc["version"] == 1
+        assert doc["report"]["completed"] > 0
+        assert {row["name"] for row in doc["telemetry"]["series"]}
+        assert "objectives" in doc["slo"]
 
 
 class TestVerifyCommand:

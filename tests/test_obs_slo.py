@@ -1,0 +1,154 @@
+"""Multi-window burn-rate SLO tracking over served completions.
+
+The contract under test: an alert trips only when *both* the short and
+the long window burn past the threshold (a short-window blip alone is
+rejected), clears as soon as the short window recovers, and every
+transition is mirrored into the telemetry registry at simulated time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import SloAlert, SloObjective, SloTracker
+from repro.obs.telemetry import MetricsRegistry
+from repro.util.validation import ParameterError
+
+# default objective: availability 0.9 -> budget 0.1, threshold 2.0,
+# so a window needs miss fraction >= 0.2 to burn at alert pace
+OBJ = SloObjective()
+
+
+def make_tracker(**objectives):
+    reg = MetricsRegistry()
+    return SloTracker(reg, objectives or None), reg
+
+
+class TestObjectiveValidation:
+    def test_defaults_are_valid(self):
+        assert OBJ.availability == 0.9
+        assert OBJ.short_window <= OBJ.long_window
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_availability_bounds(self, bad):
+        with pytest.raises(ParameterError):
+            SloObjective(availability=bad)
+
+    def test_window_ordering(self):
+        with pytest.raises(ParameterError):
+            SloObjective(short_window=2e-3, long_window=1e-3)
+        with pytest.raises(ParameterError):
+            SloObjective(short_window=0.0)
+
+    def test_burn_threshold_positive(self):
+        with pytest.raises(ParameterError):
+            SloObjective(burn_threshold=0.0)
+
+
+class TestTriggerAndClear:
+    def test_sustained_misses_trigger_then_successes_clear(self):
+        tr, reg = make_tracker()
+        # misses spread across the long window: both burns saturate
+        t = 0.0
+        for i in range(10):
+            t = i * OBJ.long_window / 10
+            tr.record("interactive", t, ok=False)
+        assert tr.active("interactive")
+        kinds = [a.kind for a in tr.alerts]
+        assert kinds == ["trigger"]
+        assert tr.alerts[0].deadline_class == "interactive"
+        assert tr.alerts[0].short_burn >= OBJ.burn_threshold
+        assert tr.alerts[0].long_burn >= OBJ.burn_threshold
+        # successes flush the short window below threshold -> clear
+        for i in range(40):
+            t += OBJ.short_window / 8
+            tr.record("interactive", t, ok=True)
+        assert not tr.active("interactive")
+        assert [a.kind for a in tr.alerts] == ["trigger", "clear"]
+        assert tr.alerts[1].short_burn < OBJ.burn_threshold
+
+    def test_alert_emits_registry_counters_and_gauges(self):
+        tr, reg = make_tracker()
+        for i in range(10):
+            tr.record("batch", i * OBJ.long_window / 10, ok=False)
+        trig = reg.counter("slo.alerts", {"class": "batch", "kind": "trigger"})
+        assert trig.value == 1.0
+        short = reg.gauge("slo.burn_rate", {"class": "batch", "window": "short"})
+        long_ = reg.gauge("slo.burn_rate", {"class": "batch", "window": "long"})
+        assert short.value >= OBJ.burn_threshold
+        assert long_.value >= OBJ.burn_threshold
+        # gauges are stamped at the completion's simulated time
+        assert short.samples[-1][0] == pytest.approx(9 * OBJ.long_window / 10)
+
+    def test_no_retrigger_while_active(self):
+        tr, _ = make_tracker()
+        for i in range(30):
+            tr.record("interactive", i * OBJ.long_window / 10, ok=False)
+        # stays firing the whole time: exactly one trigger, no clear
+        assert [a.kind for a in tr.alerts] == ["trigger"]
+
+    def test_classes_are_independent(self):
+        tr, _ = make_tracker()
+        for i in range(10):
+            t = i * OBJ.long_window / 10
+            tr.record("interactive", t, ok=False)
+            tr.record("batch", t, ok=True)
+        assert tr.active("interactive")
+        assert not tr.active("batch")
+        assert {a.deadline_class for a in tr.alerts} == {"interactive"}
+
+
+class TestMultiWindowRejectsBlips:
+    def test_short_window_blip_alone_does_not_trigger(self):
+        tr, _ = make_tracker()
+        # a long healthy history, then a burst of misses confined to
+        # the short window: short burn saturates but the long window
+        # still averages below threshold -> no alert
+        t = 0.0
+        for i in range(96):
+            t = i * OBJ.long_window / 100
+            tr.record("interactive", t, ok=True)
+        for _ in range(4):
+            t += OBJ.short_window / 10
+            tr.record("interactive", t, ok=False)
+        short = tr._burn("interactive", t, OBJ.short_window)
+        long_ = tr._burn("interactive", t, OBJ.long_window)
+        assert short >= OBJ.burn_threshold  # the blip is real
+        assert long_ < OBJ.burn_threshold  # but not sustained
+        assert not tr.active("interactive")
+        assert tr.alerts == []
+
+    def test_burn_rate_math(self):
+        tr, _ = make_tracker()
+        # 2 misses out of 10 in-window events: miss fraction 0.2,
+        # budget 0.1 -> burn 2.0 exactly
+        for i in range(8):
+            tr.record("batch", i * 1e-4, ok=True)
+        for i in range(2):
+            tr.record("batch", 8e-4 + i * 1e-4, ok=False)
+        burn = tr._burn("batch", 9e-4, OBJ.short_window)
+        assert burn == pytest.approx(2.0)
+
+    def test_empty_window_burns_zero(self):
+        tr, _ = make_tracker()
+        assert tr._burn("interactive", 1.0, OBJ.short_window) == 0.0
+
+
+class TestSerialization:
+    def test_to_json_shape(self):
+        tight = SloObjective(availability=0.99)
+        tr, _ = make_tracker(interactive=tight)
+        for i in range(10):
+            tr.record("interactive", i * OBJ.long_window / 10, ok=False)
+        doc = tr.to_json()
+        assert set(doc) == {"objectives", "alerts"}
+        assert doc["objectives"]["interactive"]["availability"] == 0.99
+        assert doc["objectives"]["batch"]["availability"] == OBJ.availability
+        a = doc["alerts"][0]
+        assert a["kind"] == "trigger"
+        assert a["deadline_class"] == "interactive"
+        assert a["time"] >= 0.0
+
+    def test_alert_dataclass_fields(self):
+        a = SloAlert(1.0, "batch", "trigger", 3.0, 2.5)
+        assert (a.time, a.kind) == (1.0, "trigger")

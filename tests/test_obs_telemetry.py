@@ -1,0 +1,276 @@
+"""The live metrics registry: determinism, merges, snapshots, exporters.
+
+The load-bearing guarantees:
+
+- histogram quantiles are **merge-order invariant and bit-identical**
+  (integer bucket counts on a fixed log-spaced grid), so seeded chaos
+  replays export byte-identical snapshots;
+- the histogram's nearest-rank quantile agrees with the report's exact
+  nearest-rank percentile within one bucket's width;
+- snapshots round-trip, diff correctly, and render valid Prometheus
+  text exposition (validated by the same checker CI runs).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.telemetry import (
+    BUCKET_DECADES,
+    BUCKET_GROWTH,
+    BUCKET_LO,
+    BUCKETS_PER_DECADE,
+    CounterSeries,
+    GaugeSeries,
+    HistogramSeries,
+    MetricsRegistry,
+    bucket_bounds,
+    diff_snapshots,
+    load_snapshot,
+    prometheus_text,
+)
+from repro.serve.stats import _percentiles
+import numpy as np
+from repro.util.validation import ParameterError
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+from check_prometheus import check_exposition  # noqa: E402
+
+
+class TestBucketGrid:
+    def test_fixed_and_deterministic(self):
+        b1, b2 = bucket_bounds(), bucket_bounds()
+        assert b1 == b2
+        assert len(b1) == BUCKETS_PER_DECADE * BUCKET_DECADES + 1
+        assert b1[0] == pytest.approx(BUCKET_LO)
+        for lo, hi in zip(b1, b1[1:]):
+            assert hi / lo == pytest.approx(BUCKET_GROWTH)
+
+    def test_quantile_reports_bucket_upper_bound(self):
+        h = HistogramSeries("x.y")
+        h.observe(1.0e-3)
+        q = h.quantile(0.5)
+        assert q in bucket_bounds()
+        assert 1.0e-3 <= q <= 1.0e-3 * BUCKET_GROWTH
+
+    def test_overflow_reports_exact_max(self):
+        h = HistogramSeries("x.y")
+        h.observe(1e5)  # beyond the last finite bound
+        assert h.quantile(0.99) == 1e5
+
+    def test_empty_quantile_is_zero(self):
+        assert HistogramSeries("x.y").quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_keyed_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a.b", {"k": "1"})
+        assert reg.counter("a.b", {"k": "1"}) is a
+        assert reg.counter("a.b", {"k": "2"}) is not a
+        assert len(reg) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ParameterError):
+            reg.gauge("a.b")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "UPPER.case", "9leading", "sp ace"):
+            with pytest.raises(ParameterError):
+                reg.counter(bad)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            MetricsRegistry().counter("a.b").inc(-1.0)
+
+    def test_histogram_rejects_bad_values(self):
+        h = MetricsRegistry().histogram("a.b")
+        with pytest.raises(ParameterError):
+            h.observe(-1.0)
+        with pytest.raises(ParameterError):
+            h.observe(float("nan"))
+
+    def test_disabled_registry_is_a_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a.b").inc(5.0, t=1.0)
+        reg.gauge("c.d").set(2.0, t=1.0)
+        reg.histogram("e.f").observe(0.5, t=1.0)
+        assert len(reg) == 0
+        assert reg.snapshot()["series"] == []
+
+    def test_gauge_decimation_is_deterministic(self):
+        g1 = GaugeSeries("q.d", max_samples=8)
+        g2 = GaugeSeries("q.d", max_samples=8)
+        for i in range(100):
+            g1.set(float(i), t=i * 0.5)
+            g2.set(float(i), t=i * 0.5)
+        assert g1.samples == g2.samples
+        assert len(g1.samples) <= 8
+        assert g1.value == 99.0  # latest value survives decimation
+
+
+class TestMergeDeterminism:
+    def _shards(self, seed=7, shards=4, per=200):
+        g = np.random.default_rng(seed)
+        out = []
+        for s in range(shards):
+            h = HistogramSeries("lat")
+            for _ in range(per):
+                h.observe(float(g.uniform(1e-6, 10.0)), t=0.0)
+            out.append(h)
+        return out
+
+    def test_merge_order_invariance_bit_identical(self):
+        shards = self._shards()
+        results = []
+        for perm in itertools.permutations(range(len(shards))):
+            total = HistogramSeries("lat")
+            for i in perm:
+                total.merge(shards[i])
+            results.append((total.quantiles(), dict(total.counts),
+                            total.count, total.max))
+        first = results[0]
+        for other in results[1:]:
+            assert other == first  # == on floats: bit-identical
+
+    def test_merge_equals_single_stream(self):
+        shards = self._shards(seed=11, shards=3)
+        merged = HistogramSeries("lat")
+        for h in shards:
+            merged.merge(h)
+        single = HistogramSeries("lat")
+        for h in shards:
+            for idx, n in h.counts.items():
+                single.counts[idx] = single.counts.get(idx, 0) + n
+            single.count += h.count
+            single.max = max(single.max, h.max)
+        assert merged.quantiles() == single.quantiles()
+
+    def test_registry_merge_creates_and_adds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c.x").inc(2.0, t=1.0)
+        b.counter("c.x").inc(3.0, t=2.0)
+        b.counter("c.y").inc(1.0, t=2.0)
+        a.merge(b)
+        assert a.counter("c.x").value == 5.0
+        assert a.counter("c.y").value == 1.0
+
+
+class TestNearestRankAgreement:
+    def test_histogram_within_one_bucket_of_exact(self):
+        g = np.random.default_rng(3)
+        xs = [float(g.uniform(1e-5, 2.0)) for _ in range(500)]
+        h = HistogramSeries("lat")
+        for x in xs:
+            h.observe(x, t=0.0)
+        exact = _percentiles(xs)
+        hist = h.quantiles()
+        for k in ("p50", "p95", "p99"):
+            # bucket upper bound: exact <= hist <= exact * growth
+            assert exact[k] <= hist[k] * (1 + 1e-12), k
+            assert hist[k] <= exact[k] * BUCKET_GROWTH * (1 + 1e-12), k
+
+
+class TestSnapshots:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("c.hits", {"class": "a"}).inc(3.0, t=0.5)
+        reg.gauge("g.depth").set(4.0, t=0.25)
+        reg.gauge("g.depth").set(2.0, t=0.75)
+        h = reg.histogram("h.lat", {"class": "a"})
+        for v in (1e-4, 2e-4, 5e-3):
+            h.observe(v, t=1.0)
+        return reg
+
+    def test_roundtrip(self):
+        reg = self._populated()
+        snap = reg.snapshot(time=1.0)
+        back = MetricsRegistry.from_snapshot(json.loads(json.dumps(snap)))
+        assert back.snapshot(time=1.0) == snap
+
+    def test_save_and_load(self, tmp_path):
+        reg = self._populated()
+        p = tmp_path / "snap.json"
+        reg.save(p, time=2.0)
+        assert load_snapshot(p) == reg.snapshot(time=2.0)
+
+    def test_diff_counters_and_histograms(self):
+        reg = self._populated()
+        old = reg.snapshot(time=1.0)
+        reg.counter("c.hits", {"class": "a"}).inc(2.0, t=1.5)
+        reg.histogram("h.lat", {"class": "a"}).observe(1e-3, t=1.5)
+        reg.gauge("g.depth").set(7.0, t=1.5)
+        d = diff_snapshots(reg.snapshot(time=2.0), old)
+        assert d["kind"] == "telemetry-diff"
+        by_name = {(r["name"],): r for r in d["series"]}
+        assert by_name[("c.hits",)]["value"] == 2.0
+        assert by_name[("h.lat",)]["count"] == 1
+        assert by_name[("g.depth",)]["samples"] == [[1.5, 7.0]]
+
+    def test_diff_drops_unchanged_series(self):
+        reg = self._populated()
+        old = reg.snapshot(time=1.0)
+        reg.counter("c.hits", {"class": "a"}).inc(1.0, t=1.5)
+        d = diff_snapshots(reg.snapshot(time=2.0), old)
+        assert {r["name"] for r in d["series"]} == {"c.hits"}
+
+    def test_diff_rejects_regressions(self):
+        reg = self._populated()
+        new = reg.snapshot(time=1.0)
+        reg.counter("c.hits", {"class": "a"}).inc(1.0, t=1.5)
+        old = reg.snapshot(time=2.0)
+        with pytest.raises(ParameterError):
+            diff_snapshots(new, old)  # counter went backwards
+
+    def test_diff_rejects_vanished_series(self):
+        reg = self._populated()
+        old = reg.snapshot(time=1.0)
+        fresh = MetricsRegistry()
+        fresh.counter("other.thing").inc(1.0, t=2.0)
+        with pytest.raises(ParameterError):
+            diff_snapshots(fresh.snapshot(time=2.0), old)
+
+
+class TestPrometheus:
+    def test_exposition_passes_the_ci_checker(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.shed", {"class": "interactive"}).inc(2.0, t=1.0)
+        reg.counter("serve.shed", {"class": "batch"}).inc(1.0, t=1.0)
+        reg.gauge("serve.queue_depth", {"class": "batch"}).set(3.0, t=1.0)
+        h = reg.histogram("serve.request_latency", {"class": "batch"})
+        for v in (1e-4, 3e-4, 2e-2, 1e9):  # incl. overflow bucket
+            h.observe(v, t=1.0)
+        text = prometheus_text(reg.snapshot(time=1.0))
+        assert check_exposition(text) == []
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", {"k": 'with"quote\\and\nnewline'}).inc(1.0)
+        text = prometheus_text(reg.snapshot())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert check_exposition(text) == []
+
+    def test_empty_registry_exposes_nothing(self):
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+
+class TestSeriesClasses:
+    def test_kinds(self):
+        assert CounterSeries("a.b").kind == "counter"
+        assert GaugeSeries("a.b").kind == "gauge"
+        assert HistogramSeries("a.b").kind == "histogram"
+
+    def test_histogram_mean(self):
+        h = HistogramSeries("a.b")
+        h.observe(1.0)
+        h.observe(3.0)
+        assert h.mean == pytest.approx(2.0)
+        assert HistogramSeries("a.b").mean == 0.0

@@ -37,9 +37,22 @@ def served():
 
 class TestPercentiles:
     def test_known_values(self):
+        # nearest-rank: p99 of 100 samples is the 99th order statistic,
+        # an observed value — not interpolated toward the outlier
         pct = _percentiles([1.0] * 99 + [101.0])
-        assert pct["p50"] == pytest.approx(1.0)
-        assert pct["p99"] > 1.0
+        assert pct["p50"] == 1.0
+        assert pct["p99"] == 1.0
+        pct = _percentiles([1.0] * 98 + [50.0, 101.0])
+        assert pct["p99"] == 50.0
+
+    def test_nearest_rank_is_an_observed_value(self):
+        xs = [0.7, 1.3, 2.9, 0.2, 5.1, 4.4, 3.8]
+        pct = _percentiles(xs)
+        assert all(v in xs for v in pct.values())
+        assert pct["p99"] == max(xs)  # ceil(0.99 * 7) = 7 -> the max
+
+    def test_single_sample(self):
+        assert _percentiles([2.5]) == {"p50": 2.5, "p95": 2.5, "p99": 2.5}
 
     def test_empty(self):
         assert _percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}

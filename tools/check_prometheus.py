@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text-exposition file; exit 1 on any violation.
+
+Usage::
+
+    python tools/check_prometheus.py serve.prom
+
+CI runs this over the ``repro serve --prom`` output so the exporter in
+:mod:`repro.obs.telemetry` cannot drift away from the exposition
+grammar (https://prometheus.io/docs/instrumenting/exposition_formats/).
+Checks, per metric family:
+
+- every line parses (``# TYPE``/``# HELP`` comments or samples of the
+  form ``name{labels} value``);
+- a ``# TYPE`` line precedes the family's first sample and names a
+  known type (counter / gauge / histogram);
+- metric and label names match the Prometheus grammar;
+- histogram families have, per label set: monotonically non-decreasing
+  cumulative ``_bucket`` counts over increasing ``le``, a ``+Inf``
+  bucket, a ``_sum`` sample, and a ``_count`` equal to the ``+Inf``
+  bucket's value;
+- no duplicate samples (same name + label set twice).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$"
+)
+LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_value(text: str) -> float:
+    """Parse a sample value (decimal, scientific, or +/-Inf/NaN)."""
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return float("inf")
+    if lowered == "-inf":
+        return float("-inf")
+    if lowered == "nan":
+        return float("nan")
+    return float(text)
+
+
+def _parse_labels(text: str | None) -> dict[str, str] | None:
+    """Parse the inside of a ``{...}`` label block; None on bad syntax."""
+    if text is None or text == "":
+        return {}
+    out: dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        m = LABEL_PAIR_RE.match(text, pos)
+        if m is None:
+            return None
+        key = m.group("key")
+        if key in out:
+            return None
+        out[key] = m.group("val")
+        pos = m.end()
+    return out
+
+
+def _family(name: str) -> str:
+    """Strip histogram sample suffixes back to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_exposition(text: str) -> list[str]:
+    """All grammar/consistency violations in an exposition document."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    seen_samples: set[tuple] = set()
+    # family -> label-key (minus 'le') -> list of (le, value)
+    buckets: dict[str, dict[tuple, list[tuple[float, float]]]] = {}
+    sums: dict[str, set[tuple]] = {}
+    counts: dict[str, dict[tuple, float]] = {}
+
+    for ln, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("TYPE", "HELP"):
+                if len(parts) < 3 or not METRIC_RE.match(parts[2]):
+                    errors.append(f"line {ln}: malformed {parts[1]} comment")
+                elif parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in KNOWN_TYPES:
+                        errors.append(
+                            f"line {ln}: unknown TYPE "
+                            f"{parts[3] if len(parts) > 3 else '<missing>'!r}"
+                        )
+                    elif parts[2] in types:
+                        errors.append(f"line {ln}: duplicate TYPE for {parts[2]}")
+                    else:
+                        types[parts[2]] = parts[3]
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {ln}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels"))
+        if labels is None:
+            errors.append(f"line {ln}: malformed label block in {line!r}")
+            continue
+        for k in labels:
+            if not LABEL_RE.match(k):
+                errors.append(f"line {ln}: bad label name {k!r}")
+        try:
+            value = _parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {ln}: bad sample value {m.group('value')!r}")
+            continue
+        fam = _family(name)
+        declared = types.get(fam) or types.get(name)
+        if declared is None:
+            errors.append(f"line {ln}: sample {name!r} precedes its TYPE line")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            errors.append(f"line {ln}: duplicate sample {name}{labels!r}")
+        seen_samples.add(key)
+        if declared == "histogram":
+            base = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {ln}: _bucket sample without le")
+                    continue
+                le = _parse_value(labels["le"])
+                buckets.setdefault(fam, {}).setdefault(base, []).append(
+                    (le, value))
+            elif name.endswith("_sum"):
+                sums.setdefault(fam, set()).add(base)
+            elif name.endswith("_count"):
+                counts.setdefault(fam, {})[base] = value
+            else:
+                errors.append(
+                    f"line {ln}: bare sample {name!r} in histogram family")
+
+    for fam, by_labels in buckets.items():
+        for base, pairs in by_labels.items():
+            lbl = dict(base)
+            prev = -1.0
+            for le, v in pairs:  # exposition order
+                if v < prev:
+                    errors.append(
+                        f"{fam}{lbl}: bucket counts not cumulative at le={le:g}")
+                prev = v
+            les = [le for le, _ in pairs]
+            if les != sorted(les):
+                errors.append(f"{fam}{lbl}: le values out of order")
+            if not any(le == float("inf") for le in les):
+                errors.append(f"{fam}{lbl}: missing +Inf bucket")
+            else:
+                inf_v = [v for le, v in pairs if le == float("inf")][-1]
+                if base not in counts.get(fam, {}):
+                    errors.append(f"{fam}{lbl}: missing _count sample")
+                elif counts[fam][base] != inf_v:
+                    errors.append(
+                        f"{fam}{lbl}: _count {counts[fam][base]:g} != "
+                        f"+Inf bucket {inf_v:g}")
+            if base not in sums.get(fam, set()):
+                errors.append(f"{fam}{lbl}: missing _sum sample")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; prints violations and returns the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="exposition file to validate")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the success line")
+    args = parser.parse_args(argv)
+    with open(args.path, encoding="utf-8") as fh:
+        text = fh.read()
+    errors = check_exposition(text)
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"check_prometheus: {len(errors)} violation(s) in {args.path}")
+        return 1
+    if not args.quiet:
+        print(f"check_prometheus: ok ({args.path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
