@@ -1,6 +1,6 @@
 """Repo-specific AST lint: the numeric discipline the kernels rely on.
 
-Eleven rules, each targeting a failure mode this codebase has actually
+Twelve rules, each targeting a failure mode this codebase has actually
 to guard against (run with ``python tools/lint.py src``):
 
 ``future-annotations``
@@ -72,6 +72,16 @@ to guard against (run with ``python tools/lint.py src``):
     free-floating series never lands in any snapshot, so ``repro top``
     and the exporters silently under-report.
 
+``ir-capture-site``
+    IR nodes and graphs (:class:`~repro.ir.graph.IRNode` /
+    :class:`~repro.ir.graph.IRGraph`) are constructed only inside
+    :mod:`repro.ir` — everyone else obtains graphs through the capture
+    entry points (:func:`repro.ir.capture.capture`,
+    :mod:`repro.ir.pipelines`).  A hand-assembled graph skips capture's
+    dependency resolution and :meth:`~repro.ir.graph.IRGraph.certify`'s
+    scratch-replay/hazard/prealloc gauntlet, so replaying it can
+    silently diverge from any interpreted run.
+
 Any rule can be waived on one line with ``# lint: allow-<rule>``; a
 waiver naming no known rule is itself reported (``unknown-waiver``).
 """
@@ -123,6 +133,12 @@ TELEMETRY_SERIES = ("CounterSeries", "GaugeSeries", "HistogramSeries")
 #: the one module allowed to construct series directly (the registry)
 TELEMETRY_ALLOWED = "repro/obs/telemetry.py"
 
+#: IR node/graph classes whose construction is confined to repro.ir
+IR_TYPES = ("IRNode", "IRGraph")
+
+#: the only package allowed to build IR nodes/graphs (the IR itself)
+IR_CONSTRUCT_ALLOWED = "repro/ir/"
+
 #: every waivable rule; a pragma naming anything else is unknown-waiver
 RULES = (
     "bare-except",
@@ -130,6 +146,7 @@ RULES = (
     "dtype-discipline",
     "fault-injection-site",
     "future-annotations",
+    "ir-capture-site",
     "launch-declares",
     "mutable-default",
     "np-fft",
@@ -191,6 +208,7 @@ class _Checker(ast.NodeVisitor):
         self.fault_raise_ok = any(frag in p for frag in FAULT_RAISE_ALLOWED)
         self.det_time_ok = any(frag in p for frag in DETERMINISTIC_TIME_ALLOWED)
         self.telemetry_ok = TELEMETRY_ALLOWED in p
+        self.ir_ok = IR_CONSTRUCT_ALLOWED in p
         self._stmt: ast.stmt | None = None
 
     # -- plumbing ------------------------------------------------------
@@ -388,6 +406,20 @@ class _Checker(ast.NodeVisitor):
                     f"{series} constructed outside repro.obs.telemetry -- "
                     "get series from a MetricsRegistry "
                     "(.counter/.gauge/.histogram) so they land in snapshots",
+                )
+        # IR nodes/graphs are built only by the capture layer
+        if not self.ir_ok:
+            ir_type = None
+            if isinstance(func, ast.Name) and func.id in IR_TYPES:
+                ir_type = func.id
+            elif isinstance(func, ast.Attribute) and func.attr in IR_TYPES:
+                ir_type = func.attr
+            if ir_type is not None:
+                self._report(
+                    node, "ir-capture-site",
+                    f"{ir_type} constructed outside repro.ir -- graphs come "
+                    "from the capture entry points (repro.ir.capture / "
+                    "repro.ir.pipelines); hand-built graphs skip certify()",
                 )
         if isinstance(func, ast.Attribute):
             # dtype-less allocations in kernel code

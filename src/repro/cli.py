@@ -20,6 +20,14 @@ Commands
     Statically certify every comm-plan algorithm on every topology
     class — deadlock-freedom, payload conservation, buffer liveness —
     without running the simulator (:mod:`repro.analysis.plancheck`).
+    ``--ir`` additionally captures every pipeline's op graph and checks
+    it against the plan certificates' preallocation contracts
+    (:mod:`repro.ir.prealloc`).
+``ir``
+    Capture a pipeline into the backend-neutral op-graph IR
+    (:mod:`repro.ir`), certify it (hazards + prealloc), fuse its
+    elementwise stages, and report graph structure plus the host-side
+    capture-vs-replay wall time — the compiled-replay payoff.
 ``metrics``
     Observability report for a simulated run: per-region rollups, the
     measured-vs-model join, comm/compute overlap and the critical path.
@@ -238,6 +246,45 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _verify_ir(N: int, dtype: str, comm: str):
+    """Capture every pipeline and check its graph prealloc contract.
+
+    Returns ``(rows, findings)``: one row per pipeline (graph facts +
+    verdict) and the :mod:`repro.ir.prealloc` findings, for folding
+    into ``repro verify``'s table and findings JSON.
+    """
+    from repro.ir import capture_pipeline, check_graph_prealloc
+    from repro.ir.executor import scratch_replay
+    from repro.machine.spec import p100_nvlink_node
+
+    spec8 = preset("8xP100")
+    rows, findings = [], []
+    from repro.ir import PIPELINE_NAMES
+
+    for name in PIPELINE_NAMES:
+        spec = p100_nvlink_node(1) if name == "nufft" else spec8
+        cl = VirtualCluster(spec, execute=False)
+        graph, _ = capture_pipeline(name, cl, N, dtype=dtype,
+                                    comm_algorithm=comm)
+        fnd = check_graph_prealloc(graph, spec)
+        findings.extend(fnd)
+        # the replay-memory assertion: every buffer the replay touches
+        # fits the contract the certificates promised
+        scratch = scratch_replay(graph, spec)
+        scratch.sanitize()
+        rows.append({
+            "pipeline": name, "G": graph.meta["G"],
+            "nodes": len(graph.nodes),
+            "records": graph.num_records,
+            "comm_calls": len(graph.comm_calls()),
+            "peak_live_bytes": (0.0 if graph.prealloc is None
+                                else graph.prealloc["peak_live_bytes"]),
+            "findings": len(fnd),
+            "ok": not fnd,
+        })
+    return rows, findings
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Statically certify comm plans over the algorithm x topology matrix."""
     from repro.analysis.findings import write_findings
@@ -263,6 +310,24 @@ def cmd_verify(args: argparse.Namespace) -> int:
         ])
     print(t.render())
     print()
+    if args.ir:
+        ir_rows, ir_findings = _verify_ir(_parse_size(args.ir_n),
+                                          args.dtype, args.comm)
+        findings = list(findings) + ir_findings
+        it = Table(
+            ["pipeline", "G", "nodes", "records", "comm", "peak live/dev",
+             "verdict"],
+            title=f"IR graph preallocation (N={_parse_size(args.ir_n)})",
+        )
+        for r in ir_rows:
+            it.add_row([
+                r["pipeline"], r["G"], r["nodes"], r["records"],
+                r["comm_calls"], format_bytes(r["peak_live_bytes"]),
+                "certified" if r["ok"] else f"{r['findings']} finding(s)",
+            ])
+        print(it.render())
+        print()
+        rows = list(rows) + ir_rows
     if args.json:
         write_findings(args.json, findings)
         print(f"findings JSON written to {args.json}")
@@ -274,6 +339,67 @@ def cmd_verify(args: argparse.Namespace) -> int:
     print(f"verify: {n_ok}/{len(rows)} plans certified, "
           f"{len(findings)} finding(s)")
     return 0 if not findings else 1
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    """Capture pipelines into the IR and report graph facts + timings."""
+    import json as _json
+    import time as _time
+
+    from repro.ir import (PIPELINE_NAMES, ReplayExecutor, capture_pipeline,
+                          fuse_elementwise)
+    from repro.machine.spec import p100_nvlink_node
+
+    N = _parse_size(args.n)
+    spec = preset(args.system)
+    names = PIPELINE_NAMES if args.pipeline == "all" else (args.pipeline,)
+    reps = max(1, args.repeats)
+    t = Table(
+        ["pipeline", "G", "nodes", "records", "buffers", "comm", "fused",
+         "peak live/dev", "capture [ms]", "replay [ms]", "host speedup"],
+        title=f"IR capture/replay, {args.system}, N={N}, {args.comm}",
+    )
+    rows = []
+    for name in names:
+        # the NUFFT pipeline is single-device by construction
+        pspec = (p100_nvlink_node(1)
+                 if name == "nufft" and spec.num_devices != 1 else spec)
+        cl = VirtualCluster(pspec, execute=False)
+        t0 = _time.perf_counter()
+        graph, _ = capture_pipeline(name, cl, N, dtype=args.dtype,
+                                    comm_algorithm=args.comm)
+        graph.certify(pspec)
+        capture_s = _time.perf_counter() - t0
+        fused = fuse_elementwise(graph, pspec)
+        ex = ReplayExecutor(graph, VirtualCluster(pspec, execute=False))
+        t0 = _time.perf_counter()
+        for _ in range(reps):
+            ex.run()
+        replay_s = (_time.perf_counter() - t0) / reps
+        row = graph.summary()
+        row.update(fused_launches=fused.meta["fused"],
+                   capture_s=capture_s, replay_s=replay_s,
+                   host_speedup=capture_s / max(replay_s, 1e-12))
+        rows.append(row)
+        t.add_row([
+            name, row["G"], row["nodes"], row["records_per_replay"],
+            row["buffers"], row["comm_calls"], row["fused_launches"],
+            format_bytes(row["peak_live_bytes"] or 0.0),
+            f"{capture_s * 1e3:.2f}", f"{replay_s * 1e3:.2f}",
+            f"{row['host_speedup']:.1f}x",
+        ])
+    print(t.render())
+    print()
+    print(f"ir: {len(rows)} pipeline(s) captured, certified, and replayed "
+          f"({reps} replay(s) each); capture includes one interpreted run "
+          "+ certification")
+    if args.json:
+        payload = {"system": args.system, "n": N, "dtype": args.dtype,
+                   "comm": args.comm, "repeats": reps, "pipelines": rows}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=1)
+        print(f"graph summaries written to {args.json}")
+    return 0
 
 
 def _run_serve(spec, args: argparse.Namespace):
@@ -685,7 +811,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the fault-degraded topology views")
     vf.add_argument("--json", metavar="PATH", default=None,
                     help="write the shared analysis-findings JSON to PATH")
+    vf.add_argument("--ir", action="store_true",
+                    help="also capture every pipeline's op graph and check "
+                         "it against the prealloc contracts (repro.ir)")
+    vf.add_argument("--ir-n", default="2^12",
+                    help="problem size for the --ir captures")
+    vf.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"],
+                    help="dtype for the --ir captures")
+    vf.add_argument("--comm", default="bulk",
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    help="collective algorithm for the --ir captures")
     vf.set_defaults(fn=cmd_verify)
+
+    ir = sub.add_parser(
+        "ir", help="capture/certify/replay a pipeline's op-graph IR")
+    ir.add_argument("--pipeline", default="all",
+                    choices=["all", "fft1d", "fft2d", "rfft", "fmm",
+                             "fmmfft", "nufft"])
+    ir.add_argument("--n", default="2^12", help="size (e.g. 4096 or 2^12)")
+    ir.add_argument("--system", default="8xP100", choices=sorted(_PRESETS))
+    ir.add_argument("--dtype", default="complex128",
+                    choices=["complex64", "complex128"])
+    ir.add_argument("--comm", default="bulk",
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    help="collective algorithm (see repro.comm)")
+    ir.add_argument("--repeats", type=int, default=5,
+                    help="replay repetitions for the host-wall timing")
+    ir.add_argument("--json", metavar="PATH", default=None,
+                    help="write the per-pipeline graph summaries to PATH")
+    ir.set_defaults(fn=cmd_ir)
 
     me = sub.add_parser("metrics", help="observability report for a run")
     me.add_argument("--pipeline", default="fmmfft",

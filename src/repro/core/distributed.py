@@ -112,10 +112,17 @@ class FmmFftDistributed:
 
     def _post_callback(self, block: np.ndarray, g: int) -> np.ndarray:
         """POST on device g's (M/G, P) block: columns p >= 1 scale by
-        rho_p after adding i r_p."""
+        rho_p after adding i r_p.
+
+        Reads the FMM's live reduction result (not a snapshot from the
+        orchestrating ``run``), so a replayed schedule — where the FMM
+        stage closures refresh ``fmm._r`` without re-running ``run`` —
+        feeds POST the current pass's values.
+        """
         rho = self.plan.operators.rho
+        r = self.fmm._r
         out = np.array(block, dtype=self.plan.dtype)
-        out[:, 1:] = rho[None, :] * (block[:, 1:] + 1j * self._r[None, :])
+        out[:, 1:] = rho[None, :] * (block[:, 1:] + 1j * r[None, :])
         return out
 
     # -- execution -----------------------------------------------------------

@@ -169,6 +169,35 @@ class Distributed1DFFT:
         m = np.arange(cols, dtype=np.float64)[None, :]
         return np.exp(-2j * np.pi * (p * m) / self.N).astype(self.dtype)
 
+    # -- staging ----------------------------------------------------------
+
+    def stage_in(self, x: np.ndarray, key: str = "dfft1") -> None:
+        """Scatter the global input vector into per-device blocks.
+
+        Host-side data motion with no schedule footprint; the replay
+        executor calls it before each execute-mode replay (the IR's
+        ``stage_in`` hook) exactly as :meth:`run` does on capture.
+        """
+        cl, G = self.cl, self.cl.G
+        x = np.asarray(x, dtype=self.dtype)
+        if x.shape != (self.N,):
+            raise ParameterError(f"input must have shape ({self.N},), got {x.shape}")
+        lay_mp = BlockRows(rows=self.M, cols=self.P, G=G)
+        blocks = lay_mp.scatter(x)
+        for g in range(G):
+            cl.dev(g)[key] = blocks[g]
+
+    def gather(self, key: str = "dfft1") -> np.ndarray:
+        """Concatenate the per-device output blocks into the spectrum.
+
+        The inverse host-side motion of :meth:`stage_in`; doubles as the
+        IR ``finalize`` hook.
+        """
+        cl, G = self.cl, self.cl.G
+        return np.concatenate(
+            [np.asarray(cl.dev(g)[key]).ravel() for g in range(G)]
+        )
+
     # -- execution --------------------------------------------------------
 
     def run(
@@ -202,12 +231,7 @@ class Distributed1DFFT:
         if cl.execute:
             if x is None:
                 raise ParameterError("execute-mode cluster requires input data")
-            x = np.asarray(x, dtype=self.dtype)
-            if x.shape != (self.N,):
-                raise ParameterError(f"input must have shape ({self.N},), got {x.shape}")
-            blocks = lay_mp.scatter(x)
-            for g in range(G):
-                cl.dev(g)[key] = blocks[g]
+            self.stage_in(x, key)
         else:
             for g in range(G):
                 cl.dev(g).alloc(key, lay_mp.local_shape(), self.dtype)
@@ -247,7 +271,5 @@ class Distributed1DFFT:
                 )
             cl.barrier()
         if cl.execute:
-            return np.concatenate(
-                [np.asarray(cl.dev(g)[key]).ravel() for g in range(G)]
-            )
+            return self.gather(key)
         return None

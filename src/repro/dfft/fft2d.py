@@ -102,6 +102,33 @@ class Distributed2DFFT:
         self._plan_M = LocalFFTPlan(M, dtype=dt, backend=backend)
         self._plan_P = LocalFFTPlan(P, dtype=dt, backend=backend)
 
+    # -- staging ----------------------------------------------------------
+
+    def stage_in(self, a: np.ndarray, key: str = "dfft2") -> None:
+        """Scatter the global (M, P) array into per-device row blocks.
+
+        Host-side data motion with no schedule footprint; the replay
+        executor calls it before each execute-mode replay (the IR's
+        ``stage_in`` hook) exactly as :meth:`run` does on capture.
+        """
+        cl, M, P, G = self.cl, self.M, self.P, self.cl.G
+        a = np.asarray(a, dtype=self.dtype).reshape(M, P)
+        lay_mp = BlockRows(rows=M, cols=P, G=G)
+        for g, blk in enumerate(lay_mp.scatter(a)):
+            cl.dev(g)[key] = blk
+
+    def gather(self, key: str = "dfft2") -> np.ndarray:
+        """Stack the per-device output blocks into the (P, M) result.
+
+        The inverse host-side motion of :meth:`stage_in`; doubles as the
+        IR ``finalize`` hook.
+        """
+        cl, M, P, G = self.cl, self.M, self.P, self.cl.G
+        rows_local = BlockRows(rows=P, cols=M, G=G).rows_local
+        return np.vstack(
+            [np.asarray(cl.dev(g)[key]).reshape(rows_local, M) for g in range(G)]
+        )
+
     def run(
         self,
         a: np.ndarray | None = None,
@@ -148,9 +175,7 @@ class Distributed2DFFT:
         if cl.execute and not staged:
             if a is None:
                 raise ParameterError("execute-mode cluster requires input data")
-            a = np.asarray(a, dtype=self.dtype).reshape(M, P)
-            for g, blk in enumerate(lay_mp.scatter(a)):
-                cl.dev(g)[key] = blk
+            self.stage_in(a, key)
         elif not cl.execute and not staged:
             for g in range(G):
                 cl.dev(g).alloc(key, lay_mp.local_shape(), self.dtype)
@@ -234,9 +259,7 @@ class Distributed2DFFT:
         if barrier:
             cl.barrier()
         if cl.execute:
-            return np.vstack(
-                [np.asarray(cl.dev(g)[key]).reshape(lay_pm.rows_local, M) for g in range(G)]
-            )
+            return self.gather(key)
         return None
 
     @staticmethod

@@ -74,6 +74,37 @@ class DistributedRealFFT:
             comm_algorithm=comm_algorithm,
         )
 
+    # -- staging ----------------------------------------------------------
+
+    def _pack(self, x: np.ndarray) -> np.ndarray:
+        """Two-for-one pack ``z[k] = x[2k] + i x[2k+1]`` (host-side)."""
+        x = np.asarray(x, dtype=self.rdtype)
+        if x.shape != (self.N,):
+            raise ParameterError(f"input must have shape ({self.N},), got {x.shape}")
+        return (x[0::2] + 1j * x[1::2]).astype(self.cdtype)
+
+    def _untangle(self, Z: np.ndarray) -> np.ndarray:
+        """Split the packed spectrum into the N/2 + 1 real-input bins."""
+        h = self.N // 2
+        Z = np.asarray(Z).reshape(h)
+        idx = (-np.arange(h)) % h
+        Zc = np.conj(Z[idx])
+        E = 0.5 * (Z + Zc)
+        O = -0.5j * (Z - Zc)
+        w = twiddles(self.N, -1, self.cdtype)[:h]
+        out = np.empty(h + 1, dtype=self.cdtype)
+        out[:h] = E + w * O
+        out[h] = (E[0] - O[0]).real
+        return out
+
+    def stage_in(self, x: np.ndarray, key: str = "drfft") -> None:
+        """Pack the real input and scatter it (the IR ``stage_in`` hook)."""
+        self.inner.stage_in(self._pack(x), key)
+
+    def finalize(self, key: str = "drfft") -> np.ndarray:
+        """Gather the packed spectrum and untangle it (IR ``finalize``)."""
+        return self._untangle(self.inner.gather(key))
+
     def run(self, x: np.ndarray | None = None, key: str = "drfft") -> np.ndarray | None:
         """Execute; returns the N/2 + 1 rfft bins (gathered) or None."""
         cl, N, G = self.cl, self.N, self.cl.G
@@ -84,10 +115,7 @@ class DistributedRealFFT:
         if cl.execute:
             if x is None:
                 raise ParameterError("execute-mode cluster requires input data")
-            x = np.asarray(x, dtype=self.rdtype)
-            if x.shape != (N,):
-                raise ParameterError(f"input must have shape ({N},), got {x.shape}")
-            z = (x[0::2] + 1j * x[1::2]).astype(self.cdtype)
+            z = self._pack(x)
         else:
             z = None
         # charge the pack pass (read x, write z) on each device; the inner
@@ -110,8 +138,6 @@ class DistributedRealFFT:
         # the same comm/compute overlap the transposes use, now with the
         # dependency edges declared so the sanitizer can certify it.
         itemc = self.cdtype.itemsize
-        if cl.execute:
-            Z = np.asarray(Zfull).reshape(h)
         C = self.inner.chunks
         last: list[Event | None] = [None] * G
         for j in range(C):
@@ -142,12 +168,4 @@ class DistributedRealFFT:
 
         if not cl.execute:
             return None
-        idx = (-np.arange(h)) % h
-        Zc = np.conj(Z[idx])
-        E = 0.5 * (Z + Zc)
-        O = -0.5j * (Z - Zc)
-        w = twiddles(N, -1, self.cdtype)[:h]
-        out = np.empty(h + 1, dtype=self.cdtype)
-        out[:h] = E + w * O
-        out[h] = (E[0] - O[0]).real
-        return out
+        return self._untangle(np.asarray(Zfull).reshape(h))

@@ -388,8 +388,7 @@ class DistributedFMM:
         (left_halo, right_halo) per device.
         """
         cl = self.cl
-        if cl.execute:
-            self._stash_halo(what, key, width, level)
+        cl.host_action(lambda c: self._stash_halo(what, key, width, level))
         src_buf = key if key is not None else self._buf(f"M{level}")
         return comm.halo_exchange(
             cl, nbytes, name, src_buf, self._buf(f"halo.{what}"), after=after,
@@ -423,6 +422,11 @@ class DistributedFMM:
     def _do_s2m(self, key_in: str) -> None:
         cl, o = self.cl, self.ops
         self._Mexp = []
+        # S2M opens a fresh pass: clear the accumulators too, so a
+        # second run() on the same instance (an IR replay) cannot fold
+        # the previous pass's locals into _do_m2l_base's accumulation
+        self._Loc = [dict() for _ in range(cl.G)]
+        self._MB = None
         for g in range(cl.G):
             Sb = np.asarray(cl.dev(g)[key_in])  # (P, nb_loc, ML)
             self._Mexp.append({o.L: Sb[1:] @ o.s2m.T})

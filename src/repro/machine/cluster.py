@@ -235,6 +235,23 @@ class VirtualCluster:
             fn(self)
         return st.advance_to(start + dur, op=uid)
 
+    def host_action(
+        self, fn: Callable[["VirtualCluster"], None] | None
+    ) -> None:
+        """Run a host-side data action with no ledger or timing footprint.
+
+        For execute-mode data movement that is *not* an operation the
+        schedule models (e.g. the FMM's halo stash, which mirrors data
+        the comm layer is separately charged for).  Unlike
+        :meth:`host_op` nothing is appended to the ledger, so existing
+        ledgers and fingerprints are unchanged.  Routing such actions
+        through this hook (instead of bare ``if cl.execute:`` blocks)
+        is what lets the :mod:`repro.ir` capture layer see them and
+        re-run them on replay.
+        """
+        if fn is not None and self.execute:
+            fn(self)
+
     def host_op(
         self,
         g: int,

@@ -128,6 +128,23 @@ class Ledger:
         self._records.append(rec)
         return rec.uid
 
+    def append_stamped(self, rec: OpRecord) -> int:
+        """Store a freshly built record, stamping the next uid in place.
+
+        The replay hot path (:mod:`repro.ir.executor`): replayed
+        records come from a certified graph whose capture run already
+        passed :meth:`append`'s validation, so this skips it — and
+        stamps the uid with ``object.__setattr__`` instead of
+        ``dataclasses.replace``, avoiding a second full construction
+        per record.  ``rec`` must be freshly constructed (``uid=-1``,
+        never shared), exactly as the executor builds them.
+        """
+        uid = self._next_uid
+        object.__setattr__(rec, "uid", uid)
+        self._next_uid = uid + 1
+        self._records.append(rec)
+        return uid
+
     def __len__(self) -> int:
         return len(self._records)
 

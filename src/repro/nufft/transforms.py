@@ -154,6 +154,121 @@ def nufft1_adjoint(
     return out
 
 
+class ClusterNufft2:
+    """Type-2 NUFFT as a (single-device) cluster pipeline.
+
+    The host-path :func:`nufft2` runs its three stages — centered pad,
+    fine-grid inverse FFT, FMM-accelerated barycentric evaluation — as
+    plain NumPy calls, invisible to the scheduling machinery.  This
+    plan issues the same three stages as chained ``launch`` ops on a
+    G = 1 :class:`~repro.machine.cluster.VirtualCluster`, so the NUFFT
+    gets a ledger, regions, hazard checking, and (the point) an IR
+    capture like every other pipeline.  Outputs are bit-identical to
+    :func:`nufft2` — each stage closure calls the exact same helpers.
+
+    Parameters
+    ----------
+    n:
+        Even coefficient count (fixed at plan time).
+    m:
+        Number of evaluation points (fixed at plan time).
+    cluster:
+        A G = 1 cluster (execute or timing-only).
+    sigma, Q, B:
+        As for :func:`nufft2`.
+    """
+
+    def __init__(self, n: int, m: int, cluster, sigma: float = 2.0,
+                 Q: int = 16, B: int = 3):
+        if cluster.G != 1:
+            raise ParameterError(
+                f"ClusterNufft2 is a single-device pipeline, got G={cluster.G}")
+        if n % 2:
+            raise ParameterError(f"coefficient count must be even, got {n}")
+        if sigma < 1.5:
+            raise ParameterError(f"sigma must be >= 1.5, got {sigma}")
+        if m < 1:
+            raise ParameterError(f"need at least one point, got m={m}")
+        self.n, self.m, self.cl = n, m, cluster
+        self.sigma, self.Q, self.B = sigma, Q, B
+        self.nf = _fine_grid_size(n, sigma)
+        self._plan = LocalFFTPlan(self.nf)  # twiddles built at plan time
+
+    def stage_in(self, c: np.ndarray, x: np.ndarray, key: str = "nufft") -> None:
+        """Place coefficients and points into device buffers (host-side)."""
+        c = np.asarray(c, dtype=np.complex128)
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if c.shape != (self.n,):
+            raise ParameterError(f"coefficients must have shape ({self.n},), got {c.shape}")
+        if x.shape != (self.m,):
+            raise ParameterError(f"points must have shape ({self.m},), got {x.shape}")
+        dev = self.cl.dev(0)
+        dev[f"{key}.c"] = c
+        dev[f"{key}.x"] = x
+
+    def finalize(self, key: str = "nufft") -> np.ndarray:
+        """Read the evaluated samples back from the device (host-side)."""
+        return np.asarray(self.cl.dev(0)[f"{key}.out"])
+
+    def run(self, c: np.ndarray | None = None, x: np.ndarray | None = None,
+            key: str = "nufft") -> np.ndarray | None:
+        """Execute the three-stage pipeline; returns samples or None."""
+        from repro.fftcore.flops import fft_flops, fft_mops
+        from repro.nufft.barycentric import trig_barycentric_fmm
+
+        cl, n, nf, m = self.cl, self.n, self.nf, self.m
+        if cl.execute:
+            if c is None or x is None:
+                raise ParameterError("execute-mode cluster requires input data")
+            self.stage_in(c, x, key)
+        else:
+            dev = cl.dev(0)
+            dev.alloc(f"{key}.c", (n,), np.complex128)
+            dev.alloc(f"{key}.x", (m,), np.float64)
+        plan, Q, B = self._plan, self.Q, self.B
+
+        def pad_fn(cluster) -> None:
+            d = cluster.dev(0)
+            d[f"{key}.spec"] = _pad_spectrum(np.asarray(d[f"{key}.c"]), nf)
+
+        def ifft_fn(cluster) -> None:
+            d = cluster.dev(0)
+            d[f"{key}.grid"] = plan.inverse(np.asarray(d[f"{key}.spec"])) * nf
+
+        def eval_fn(cluster) -> None:
+            d = cluster.dev(0)
+            d[f"{key}.out"] = trig_barycentric_fmm(
+                np.asarray(d[f"{key}.grid"]), np.asarray(d[f"{key}.x"]),
+                Q=Q, B=B)
+
+        itemc = 16  # complex128
+        with cl.region("nufft"):
+            with cl.region("pad"):
+                ev = cl.launch(0, "nufft.pad", "copy", flops=0.0,
+                               mops=(n + nf) * itemc, dtype=np.complex128,
+                               fn=pad_fn,
+                               reads=[f"{key}.c"], writes=[f"{key}.spec"])
+            with cl.region("ifft"):
+                ev = cl.launch(0, "nufft.ifft", "fft",
+                               flops=fft_flops(nf),
+                               mops=fft_mops(nf, batch=1, itemsize=itemc),
+                               dtype=np.complex128, after=[ev], fn=ifft_fn,
+                               reads=[f"{key}.spec"], writes=[f"{key}.grid"])
+            with cl.region("eval"):
+                # barycentric FMM: O(Q) work per point plus the fine-grid
+                # sweep; charged as a single custom kernel
+                cl.launch(0, "nufft.eval", "custom",
+                          flops=20.0 * Q * m + 10.0 * nf,
+                          mops=(nf + 2 * m) * itemc,
+                          dtype=np.complex128, after=[ev], fn=eval_fn,
+                          reads=[f"{key}.grid", f"{key}.x"],
+                          writes=[f"{key}.out"])
+            cl.barrier()
+        if cl.execute:
+            return self.finalize(key)
+        return None
+
+
 def nudft1_direct(w: np.ndarray, x: np.ndarray, n: int) -> np.ndarray:
     """O(n m) direct type-1 adjoint — the oracle."""
     w = np.asarray(w, dtype=np.complex128).ravel()

@@ -168,11 +168,19 @@ class PlanCache:
         self.build_operators = build_operators
         self.remember = remember
         self._plans: OrderedDict[tuple, FmmFftPlan] = OrderedDict()
+        #: captured IR graphs keyed by (plan_key, comm_algorithm, batch_k);
+        #: warm batches replay these instead of re-interpreting the pipeline
+        self._graphs: OrderedDict[tuple, object] = OrderedDict()
         self.plan_hits = 0
         self.plan_misses = 0
         self.wisdom_hits = 0
         self.wisdom_misses = 0
         self.searches = 0
+        self.graph_hits = 0
+        self.graph_misses = 0
+        #: replayed-batch count (the scheduler increments via
+        #: :meth:`count_replay` when a graph hit is actually replayed)
+        self.replays = 0
         #: optional MetricsRegistry (see :meth:`attach_telemetry`)
         self.telemetry = None
         #: simulated time the next counter emission is stamped with —
@@ -182,9 +190,9 @@ class PlanCache:
 
     def attach_telemetry(self, registry) -> None:
         """Stream cache counters (``cache.plan_hit`` / ``cache.plan_miss``
-        / ``cache.wisdom_hit`` / ``cache.wisdom_miss`` /
-        ``cache.search``) into a metrics registry, stamped with
-        :attr:`sim_now`."""
+        / ``cache.wisdom_hit`` / ``cache.wisdom_miss`` / ``cache.search``
+        / ``cache.graph_hit`` / ``cache.graph_miss`` / ``cache.replay``)
+        into a metrics registry, stamped with :attr:`sim_now`."""
         self.telemetry = registry
 
     def _count(self, name: str) -> None:
@@ -284,6 +292,35 @@ class PlanCache:
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
         return plan
+
+    # -- captured-graph tier (IR replay) -------------------------------
+
+    def graph_for(self, key: tuple):
+        """The certified :class:`~repro.ir.graph.IRGraph` captured for
+        a ``(plan_key, comm_algorithm, batch_k)`` configuration, or
+        None (counted as ``cache.graph_hit`` / ``cache.graph_miss``)."""
+        graph = self._graphs.get(key)
+        if graph is not None:
+            self.graph_hits += 1
+            self._count("cache.graph_hit")
+            self._graphs.move_to_end(key)
+            return graph
+        self.graph_misses += 1
+        self._count("cache.graph_miss")
+        return None
+
+    def put_graph(self, key: tuple, graph) -> None:
+        """Store a captured graph (LRU, same capacity as the plan tier;
+        a zero-capacity cache stores nothing)."""
+        if self.capacity > 0:
+            self._graphs[key] = graph
+            while len(self._graphs) > self.capacity:
+                self._graphs.popitem(last=False)
+
+    def count_replay(self) -> None:
+        """Account one replayed batch (``cache.replay``)."""
+        self.replays += 1
+        self._count("cache.replay")
 
     @property
     def hit_rate(self) -> float:

@@ -16,6 +16,21 @@ free, and launches each batch onto the *shared* virtual cluster:
   trailing compute on the in-order streams — cross-batch overlap on
   top of the paper's within-transform overlap.
 
+IR replay: the first batch at each ``(plan_key, comm_algorithm, k)``
+configuration is issued through :func:`repro.ir.capture.capture` — a
+normal interpreted run that also records the op graph — then certified
+(hazards + prealloc) and stored in the plan cache's graph tier.  Every
+warm batch replays the compiled graph instead of re-constructing the
+pipeline: buffers are renamed into a reusable slot namespace
+(``serve.r<slot>``, slots reused only after their previous batch
+finished, so the hazard sanitizer still certifies the interleaving),
+regions are re-stamped ``serve/b<bid>/...`` truthfully, and the ledger
+records are bit-identical to what the interpreted issue would have
+appended.  Fault-injecting clusters never capture or replay (recorded
+durations would launder transient faults), and a zero-capacity cache
+disables the graph tier with the rest of the cache.  ``replay=False``
+restores the pure interpreted path (the benchmark's baseline arm).
+
 With ``max_inflight=1`` the loop degrades to strict one-at-a-time
 serving (the baseline arm); the default 2 keeps one batch's comm under
 another's compute.
@@ -49,6 +64,8 @@ from repro.comm.retry import CommFailure
 from repro.comm.tuning import choose_algorithm
 from repro.core.distributed import FmmFftDistributed
 from repro.core.single import fmmfft_batched
+from repro.ir.capture import capture
+from repro.ir.executor import ReplayExecutor
 from repro.machine.cluster import VirtualCluster
 from repro.machine.stream import Event
 from repro.obs.slo import SloTracker
@@ -103,6 +120,11 @@ class ServeScheduler:
     slo:
         The :class:`~repro.obs.slo.SloTracker` fed per completion;
         None builds one with default objectives over ``telemetry``.
+    replay:
+        True (default) captures each batch configuration's op graph on
+        first issue and replays it for warm batches (see the module
+        docstring); False always re-interprets — the baseline arm
+        :mod:`benchmarks.bench_serve` measures replay against.
     """
 
     def __init__(
@@ -116,6 +138,7 @@ class ServeScheduler:
         deadline_targets: dict[str, float] | None = None,
         telemetry: MetricsRegistry | None = None,
         slo: SloTracker | None = None,
+        replay: bool = True,
     ):
         if cluster.execute:
             raise ParameterError(
@@ -164,7 +187,7 @@ class ServeScheduler:
         #: rid -> output vector (only with ``compute_outputs``)
         self.outputs: dict[int, np.ndarray] = {}
         #: per-batch telemetry: {bid, k, N, release, finish, setup_time,
-        #: failed}
+        #: failed, replayed}
         self.batches: list[dict] = []
         self.completed: list[CompletedRequest] = []
         #: batches that raised CommFailure
@@ -175,6 +198,17 @@ class ServeScheduler:
         self.retry_shed: dict[str, int] = {c: 0 for c in DEADLINE_CLASSES}
         self._attempts: dict[int, int] = {}
         self._retry_pending: list[tuple[float, TransformRequest]] = []
+        #: replay enabled (off automatically under fault injection or a
+        #: zero-capacity cache — see the module docstring)
+        self.replay = replay
+        #: replay-slot occupancy: finish time of the last batch replayed
+        #: into ``serve.r<slot>``; a slot is reusable once that batch
+        #: finished before the next batch's release
+        self._slot_free: list[float] = []
+        #: compiled executors keyed by (graph_key, slot)
+        self._executors: dict[tuple, ReplayExecutor] = {}
+        #: batches issued via graph replay (mirrors ``cache.replays``)
+        self.replayed_batches = 0
 
     # -- one batch ----------------------------------------------------
 
@@ -206,18 +240,20 @@ class ServeScheduler:
         rel = Event(time=release, label=f"serve.release.b{batch.bid}")
         start_idx = len(cl.ledger)
         algo = self._comm_algorithm(batch, release)
+        cache = self.batcher.cache
+        replayable = (self.replay and self.faults is None
+                      and cache.capacity > 0)
+        gkey = (batch.plan.plan_key() + (algo, batch.k)
+                if replayable else None)
+        graph = cache.graph_for(gkey) if replayable else None
         try:
-            with cl.region("serve"), cl.region(f"b{batch.bid}"):
-                exe = FmmFftDistributed(
-                    batch.plan, cl,
-                    comm_algorithm=algo,
-                    ns=f"serve.b{batch.bid}", batch=batch.k,
-                )
-                exe.run(after=[rel], barrier=False)
+            if graph is not None:
+                finish = self._replay_batch(graph, gkey, batch, release)
+            else:
+                finish = self._interpret_batch(batch, rel, algo, gkey,
+                                               start_idx, release)
         except CommFailure as e:
             return self._fail(batch, release, start_idx, e)
-        recs = list(cl.ledger)[start_idx:]
-        finish = max((r.end for r in recs), default=release)
         if self.compute_outputs:
             host_plan = self.batcher.cache.host_plan_for(
                 batch.plan.N, batch.plan.dtype
@@ -229,6 +265,7 @@ class ServeScheduler:
         self.batches.append(dict(
             bid=batch.bid, k=batch.k, N=batch.plan.N, release=release,
             finish=finish, setup_time=batch.setup_time, failed=False,
+            replayed=graph is not None,
         ))
         tel = self.telemetry
         tel.histogram("serve.batch_latency").observe(
@@ -248,6 +285,65 @@ class ServeScheduler:
             self.slo.record(r.deadline, finish, ok)
         return finish
 
+    def _interpret_batch(self, batch: Batch, rel: Event, algo: str,
+                         gkey: tuple | None, start_idx: int,
+                         release: float) -> float:
+        """Issue one batch through the interpreted pipeline.
+
+        With ``gkey`` set, the run goes through the IR recording proxy
+        — same ledger, same events — and the captured graph is
+        certified and stored so the next batch at this configuration
+        replays.  Returns the batch finish time.
+        """
+        cl = self.cluster
+
+        def _run(proxy):
+            FmmFftDistributed(
+                batch.plan, proxy, comm_algorithm=algo,
+                ns=f"serve.b{batch.bid}", batch=batch.k,
+            ).run(after=[rel], barrier=False)
+
+        with cl.region("serve"), cl.region(f"b{batch.bid}"):
+            if gkey is None:
+                _run(cl)
+            else:
+                graph, _ = capture(
+                    _run, cl, release_event=rel, pipeline="fmmfft",
+                    key=gkey, buffer_prefix=f"serve.b{batch.bid}")
+        if gkey is not None:
+            graph.certify(cl.spec)
+            self.batcher.cache.put_graph(gkey, graph)
+        recs = list(cl.ledger)[start_idx:]
+        return max((r.end for r in recs), default=release)
+
+    def _replay_batch(self, graph, gkey: tuple, batch: Batch,
+                      release: float) -> float:
+        """Replay a certified graph for one warm batch.
+
+        Picks the lowest slot whose previous batch finished by this
+        batch's release (so same-name buffer intervals never overlap),
+        reusing the slot's compiled executor when one exists.  Returns
+        the batch finish time.
+        """
+        slot = next((s for s, t in enumerate(self._slot_free)
+                     if t <= release), None)
+        if slot is None:
+            self._slot_free.append(0.0)
+            slot = len(self._slot_free) - 1
+        ex = self._executors.get((gkey, slot))
+        if ex is None:
+            ex = ReplayExecutor(
+                graph, self.cluster,
+                rename=(graph.meta["buffer_prefix"], f"serve.r{slot}"),
+                region_strip=2)
+            self._executors[(gkey, slot)] = ex
+        finish = ex.run(release=release,
+                        region_prefix=f"serve/b{batch.bid}/")
+        self._slot_free[slot] = finish
+        self.replayed_batches += 1
+        self.batcher.cache.count_replay()
+        return finish
+
     def _fail(self, batch: Batch, release: float, start_idx: int,
               exc: CommFailure) -> float:
         """Account one failed batch; returns the time it died."""
@@ -259,6 +355,7 @@ class ServeScheduler:
         self.batches.append(dict(
             bid=batch.bid, k=batch.k, N=batch.plan.N, release=release,
             finish=fail_time, setup_time=batch.setup_time, failed=True,
+            replayed=False,
         ))
         for r in batch.requests:
             n = self._attempts.get(r.rid, 0) + 1

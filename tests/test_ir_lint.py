@@ -1,0 +1,46 @@
+"""The ``ir-capture-site`` lint rule: IR graphs come from the capture layer."""
+
+from __future__ import annotations
+
+from repro.analysis.lint import RULES, lint_source
+
+HEADER = "from __future__ import annotations\n"
+
+
+def _rules(path, src):
+    return [i.rule for i in lint_source(path, HEADER + src)]
+
+
+class TestIrCaptureSite:
+    def test_node_construction_outside_ir_flagged(self):
+        src = "n = IRNode(op='launch', name='x')\n"
+        assert "ir-capture-site" in _rules("src/repro/serve/hack.py", src)
+
+    def test_graph_construction_outside_ir_flagged(self):
+        src = "g = IRGraph([], {})\n"
+        assert "ir-capture-site" in _rules("src/repro/core/hack.py", src)
+
+    def test_attribute_construction_flagged(self):
+        src = "import repro.ir.graph as irg\ng = irg.IRGraph([], {})\n"
+        assert "ir-capture-site" in _rules("src/repro/dfft/hack.py", src)
+
+    def test_inside_repro_ir_allowed(self):
+        src = "n = IRNode(op='launch', name='x')\ng = IRGraph([n], {})\n"
+        assert "ir-capture-site" not in _rules("src/repro/ir/fuse.py", src)
+
+    def test_name_reference_without_call_allowed(self):
+        src = "from repro.ir import IRGraph\n\n\ndef f(g: IRGraph):\n    return g\n"
+        assert "ir-capture-site" not in _rules("src/repro/serve/ok.py", src)
+
+    def test_waiver_suppresses(self):
+        src = "n = IRNode(op='launch')  # lint: allow-ir-capture-site\n"
+        assert "ir-capture-site" not in _rules("src/repro/serve/hack.py", src)
+
+    def test_rule_is_registered_and_waivable(self):
+        assert "ir-capture-site" in RULES
+
+    def test_misspelled_waiver_reported(self):
+        src = "n = IRNode(op='launch')  # lint: allow-ir-capture-sight\n"
+        rules = _rules("src/repro/serve/hack.py", src)
+        assert "ir-capture-site" in rules  # the typo waives nothing
+        assert "unknown-waiver" in rules
