@@ -60,7 +60,8 @@ from repro.util.validation import ParameterError
 #: sub-resource name fragments that are plan-internal staging buffers
 #: (the builders' ABI): reads of these must be produced by an earlier
 #: round; anything else unmatched is assumed to be caller input.
-STAGING_MARKERS = ("#via", "#fwd", "#nd", "#rem")
+#: ``#g``/``#x`` are the hier2 gather/exchange staging parts.
+STAGING_MARKERS = ("#via", "#fwd", "#nd", "#rem", "#g", "#x")
 
 #: per-rule cap on detail findings; the rest collapse into one summary
 MAX_DETAIL_FINDINGS = 16
@@ -174,7 +175,7 @@ def _close(a: float, b: float) -> bool:
 # ---------------------------------------------------------------------------
 
 def _hier_info(spec):
-    """(node_idx, leader_of) maps for a ``node_of`` machine, else None."""
+    """(node_idx, leader_of, groups) for a ``node_of`` machine, else None."""
     node_of = spec.graph.graph.get("node_of")
     if not node_of:
         return None
@@ -190,7 +191,13 @@ def _hier_info(spec):
         for g in grp:
             node_idx[g] = i
             leader_of[g] = grp[0]  # build_plan's leader convention
-    return node_idx, leader_of
+    return node_idx, leader_of, groups
+
+
+def _relay(groups, i: int, j: int) -> int:
+    """build_plan's hier2 relay convention: node i's device for node j."""
+    grp = groups[i]
+    return grp[j % len(grp)]
 
 
 # ---------------------------------------------------------------------------
@@ -356,13 +363,35 @@ def _required_alltoall(m, hold, G: int, hier, s: float, out: _Collector,
     """Blocks the algorithm's forwarding rule prescribes for one message.
 
     Returns (required_set, ambiguous_ok).  ``hier`` is the
-    (node_idx, leader_of) pair for hier plans, the algorithm name
-    otherwise.
+    (algorithm, node_idx, leader_of, groups) tuple for hier/hier2
+    plans, the algorithm name otherwise.
     """
     src, dst = m.src, m.dst
     if isinstance(hier, tuple):
-        node_idx, leader_of = hier
-        if node_idx[src] == node_idx[dst]:
+        algo, node_idx, leader_of, groups = hier
+        i, j = node_idx[src], node_idx[dst]
+        if algo == "hier2":
+            if i == j:
+                # phase-0 intra delivery, the phase-1 relay gather, or
+                # the phase-3 scatter; the declared bytes disambiguate
+                # (gather is empty in phase 0/3, direct in phase 1).
+                direct_req = {b for b in hold[src] if b[1] == dst}
+                gather = {b for b in hold[src]
+                          if node_idx[b[1]] != i
+                          and _relay(groups, i, node_idx[b[1]]) == dst}
+                for cand in (direct_req, gather, direct_req | gather):
+                    if _close(len(cand) * s, m.nbytes):
+                        return cand
+                return direct_req | gather
+            if src != _relay(groups, i, j) or dst != _relay(groups, j, i):
+                out.add("deadlock-routing",
+                        f"round {k}: message {src}->{dst} violates hier2 "
+                        "routing (the node-pair exchange must go "
+                        "relay-to-relay)", round=k)
+                return set()
+            # relay exchange: everything destined to dst's node
+            return {b for b in hold[src] if node_idx[b[1]] == j}
+        if i == j:
             if src != leader_of[src] and dst == leader_of[src]:
                 # non-leader -> its leader: phase-0 intra delivery or the
                 # phase-1 funnel; the declared bytes disambiguate.
@@ -499,11 +528,31 @@ def _interpret_alltoall(plan, G: int, payload: float, hier,
     return prealloc, staged_by_msg
 
 
-def _required_allgather(m, hold, G: int, hier, out: _Collector, k: int):
+def _required_allgather(m, hold, G: int, hier, b: float, out: _Collector,
+                        k: int):
     """Origins one allgather message must carry (copies, not moves)."""
     src, dst = m.src, m.dst
     if isinstance(hier, tuple):
-        node_idx, leader_of = hier
+        algo, node_idx, leader_of, groups = hier
+        if algo == "hier2":
+            i, j = node_idx[src], node_idx[dst]
+            if i == j:
+                # phase-0 intra contribution or the phase-2 relay
+                # broadcast of foreign origins; bytes disambiguate.
+                contrib = {src} - hold[dst]
+                forward = hold[src] - hold[dst]
+                for cand in (contrib, forward):
+                    if _close(len(cand) * b, m.nbytes):
+                        return cand
+                return forward
+            if src != _relay(groups, i, j) or dst != _relay(groups, j, i):
+                out.add("deadlock-routing",
+                        f"round {k}: allgather message {src}->{dst} "
+                        "violates hier2 routing (node-pair exchange must "
+                        "go relay-to-relay)", round=k)
+                return set()
+            # relay exchange: every origin native to src's node
+            return {o for o in hold[src] if node_idx[o] == i}
         funnel = src != leader_of[src] and dst == leader_of[src]
         bcast = src == leader_of[src] and leader_of[dst] == src
         ring = src == leader_of[src] and dst == leader_of[dst]
@@ -543,7 +592,7 @@ def _interpret_allgather(plan, G: int, payload: float, hier,
         for m in rnd:
             if not (0 <= m.src < G and 0 <= m.dst < G) or m.src == m.dst:
                 continue
-            required = _required_allgather(m, hold, G, hier, out, k)
+            required = _required_allgather(m, hold, G, hier, b, out, k)
             carried = required & hold[m.src]
             missing = required - carried
             if not _close(len(required) * b, m.nbytes):
@@ -615,11 +664,14 @@ def check_plan(spec, plan, payload: float, lost=frozenset()) -> PlanCertificate:
     elif G < 2:
         out.add("deadlock-malformed", "plans need at least 2 devices")
     elif _check_structure(plan, G, frozenset(lost), out):
-        hier = _hier_info(spec) if plan.algorithm == "hier" else plan.algorithm
-        if plan.algorithm == "hier" and hier is None:
+        hier = plan.algorithm
+        if plan.algorithm in ("hier", "hier2"):
+            info = _hier_info(spec)
+            hier = None if info is None else (plan.algorithm,) + info
+        if hier is None:
             out.add("deadlock-routing",
-                    "hier plan on a machine without a multi-node "
-                    "node_of annotation")
+                    f"{plan.algorithm} plan on a machine without a "
+                    "multi-node node_of annotation")
         elif plan.kind == "alltoall":
             prealloc, staged = _interpret_alltoall(plan, G, payload, hier, out)
             _check_defuse(plan, out)
@@ -732,9 +784,10 @@ DEFAULT_G_LIST = (2, 4, 8, 16, 64, 256)
 
 def _matrix_specs(g_list, include_degraded: bool):
     """(label, spec) rows covering single-node, multi-node, degraded."""
-    from repro.faults.injector import FaultInjector, LinkDegrade, LinkFlap
+    from repro.faults.injector import (DeviceLoss, FaultInjector, LinkDegrade,
+                                       LinkFlap)
     from repro.machine import topology as topo
-    from repro.machine.multinode import multinode_p100
+    from repro.machine.multinode import multinode_p100, routed_multinode_p100
     from repro.machine.spec import (ClusterSpec, NVLINK_P100_LINK, P100,
                                     dgx1_p100)
 
@@ -750,6 +803,13 @@ def _matrix_specs(g_list, include_degraded: bool):
             nodes = 2 if G <= 8 else G // 4
             rows.append((f"nodes{nodes}x{G // nodes}",
                          multinode_p100(nodes, gpus_per_node=G // nodes)))
+        if G >= 16:
+            # routed fat tree: radix 8 -> 4 nodes per leaf, so G >= 64
+            # exercises cross-leaf (spine) routes too
+            nodes = G // 4
+            rows.append((f"routed{nodes}x4",
+                         routed_multinode_p100(nodes, gpus_per_node=4,
+                                               radix=8, oversubscription=2.0)))
     if include_degraded:
         base = multinode_p100(2, gpus_per_node=4)
         inj = FaultInjector(base, scheduled=(
@@ -761,6 +821,13 @@ def _matrix_specs(g_list, include_degraded: bool):
         inj2 = FaultInjector(dgx, scheduled=(
             LinkDegrade(0, 1, start=1e-3, end=3e-3, bandwidth_scale=0.5),))
         rows.append(("dgx1-degraded", inj2.degraded_spec(2e-3)))
+        # a routed machine that lost a whole node's devices: plans over
+        # the full device set must still certify (retry/reroute happens
+        # at runtime, not in the plan structure)
+        routed = routed_multinode_p100(4, gpus_per_node=4, radix=8)
+        inj3 = FaultInjector(routed, scheduled=tuple(
+            DeviceLoss(d, time=1e-3) for d in range(4, 8)))
+        rows.append(("routed4x4-nodeloss", inj3.degraded_spec(2e-3)))
     return rows
 
 
@@ -780,7 +847,7 @@ def verify_matrix(g_list=DEFAULT_G_LIST, payload: float = float(1 << 20),
     for label, spec in _matrix_specs(tuple(g_list), include_degraded):
         multinode = _hier_info(spec) is not None
         algorithms = ("bulk", "direct", "ring", "bruck") + (
-            ("hier",) if multinode else ())
+            ("hier", "hier2") if multinode else ())
         for kind in ("alltoall", "allgather"):
             for algorithm in algorithms:
                 if algorithm == "bulk":

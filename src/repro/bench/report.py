@@ -32,6 +32,7 @@ ORDER = [
     "accuracy_claims",
     "model_validation",
     "multinode_projection",
+    "multinode_crossover",
     "energy_projection",
     "obs_metrics",
 ]

@@ -670,14 +670,22 @@ def cmd_energy(args: argparse.Namespace) -> int:
 
 
 def cmd_multinode(args: argparse.Namespace) -> int:
-    """Multi-node projection table."""
-    from repro.machine.multinode import multinode_p100
+    """Multi-node projection table (flat NICs or a routed fat tree)."""
+    from repro.machine.multinode import multinode_p100, routed_multinode_p100
 
     N = _parse_size(args.n)
+    routed = args.radix > 0
+    fabric = (f"fat-tree r{args.radix} o{args.oversubscription:g}"
+              if routed else "flat NIC")
     t = Table(["nodes", "G", "FMM-FFT", "1D FFT", "speedup"],
-              title=f"Multi-node projection, N={N} ({args.dtype})")
+              title=f"Multi-node projection, N={N} ({args.dtype}, {fabric})")
     for nodes in (1, 2, 4, 8):
-        spec = multinode_p100(nodes, gpus_per_node=args.gpus_per_node)
+        if routed:
+            spec = routed_multinode_p100(
+                nodes, gpus_per_node=args.gpus_per_node, radix=args.radix,
+                oversubscription=args.oversubscription)
+        else:
+            spec = multinode_p100(nodes, gpus_per_node=args.gpus_per_node)
         r = find_fastest(N, spec, dtype=args.dtype)
         t.add_row([nodes, spec.num_devices, format_time(r.fmmfft_time),
                    format_time(r.baseline_time), f"{r.speedup:.2f}"])
@@ -792,7 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["complex64", "complex128"])
     an.add_argument("--width", type=int, default=100)
     an.add_argument("--comm", default="bulk",
-                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "hier2", "auto"],
                     help="collective algorithm (see repro.comm)")
     an.add_argument("--sanitize", action="store_true",
                     help="strict mode: raise HazardError on any finding")
@@ -820,7 +828,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["complex64", "complex128"],
                     help="dtype for the --ir captures")
     vf.add_argument("--comm", default="bulk",
-                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "hier2", "auto"],
                     help="collective algorithm for the --ir captures")
     vf.set_defaults(fn=cmd_verify)
 
@@ -834,7 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
     ir.add_argument("--dtype", default="complex128",
                     choices=["complex64", "complex128"])
     ir.add_argument("--comm", default="bulk",
-                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "hier2", "auto"],
                     help="collective algorithm (see repro.comm)")
     ir.add_argument("--repeats", type=int, default=5,
                     help="replay repetitions for the host-wall timing")
@@ -850,7 +858,7 @@ def build_parser() -> argparse.ArgumentParser:
     me.add_argument("--dtype", default="complex128",
                     choices=["complex64", "complex128"])
     me.add_argument("--comm", default="bulk",
-                    choices=["bulk", "direct", "ring", "bruck", "hier", "auto"],
+                    choices=["bulk", "direct", "ring", "bruck", "hier", "hier2", "auto"],
                     help="collective algorithm (see repro.comm)")
     me.add_argument("--json", default=None,
                     help="also write the report as JSON to this path")
@@ -881,6 +889,10 @@ def build_parser() -> argparse.ArgumentParser:
     mn = sub.add_parser("multinode", help="multi-node projection")
     mn.add_argument("--n", default="2^24")
     mn.add_argument("--gpus-per-node", type=int, default=4)
+    mn.add_argument("--radix", type=int, default=0,
+                    help="fat-tree switch radix (0 = flat NIC model)")
+    mn.add_argument("--oversubscription", type=float, default=1.0,
+                    help="leaf uplink oversubscription factor")
     mn.add_argument("--dtype", default="complex128",
                     choices=["complex64", "complex128"])
     mn.set_defaults(fn=cmd_multinode)

@@ -6,10 +6,13 @@ pipeline issues into explicit per-round point-to-point message plans
 routed over the machine's actual interconnect topology:
 
 - :mod:`repro.comm.plans` — the plan builders (``direct``, ``ring``,
-  ``bruck``, ``hier``) plus the per-link contention and round-cost
-  model;
+  ``bruck``, ``hier``, ``hier2``) plus the per-link/per-hop contention
+  and round-cost model (inter-node messages are priced along their
+  routed fabric path);
 - :mod:`repro.comm.api` — what pipelines call:
   :func:`~repro.comm.api.alltoall`, :func:`~repro.comm.api.allgather`,
+  :func:`~repro.comm.api.grouped_alltoall` (concurrent subgroup
+  exchanges for pencil decompositions),
   :func:`~repro.comm.api.halo_exchange`,
   :func:`~repro.comm.api.sendrecv` — with ``algorithm="bulk"`` mapping
   bit-for-bit onto the legacy flat collective model for back-compat and
@@ -34,6 +37,7 @@ from repro.comm.api import (
     ALGORITHMS,
     allgather,
     alltoall,
+    grouped_alltoall,
     halo_exchange,
     sendrecv,
 )
@@ -59,6 +63,7 @@ __all__ = [
     "build_plan",
     "candidate_algorithms",
     "choose_algorithm",
+    "grouped_alltoall",
     "halo_exchange",
     "plan_time",
     "predict_time",

@@ -10,8 +10,8 @@ through these functions instead of calling the
   pre-refactor code, kept for back-compat and ablation — or
 - decomposes the collective into the per-round ``sendrecv`` message
   plan built by :mod:`repro.comm.plans` (``direct``/``ring``/``bruck``/
-  ``hier``), issuing one ledger record per message, routed over the
-  actual topology link it crosses with per-link contention, or
+  ``hier``/``hier2``), issuing one ledger record per message, routed
+  over the actual topology link it crosses with per-link contention, or
 - picks the cheapest plan from the Section-5 cost model
   (``algorithm="auto"``, via :mod:`repro.comm.tuning`).
 
@@ -58,7 +58,7 @@ from repro.machine.stream import Event
 from repro.util.validation import ParameterError
 
 #: Accepted values for the ``algorithm`` parameter.
-ALGORITHMS = ("bulk", "direct", "ring", "bruck", "hier", "auto")
+ALGORITHMS = ("bulk", "direct", "ring", "bruck", "hier", "hier2", "auto")
 
 
 def _resolve(cl, kind: str, payload: float, algorithm: str) -> str:
@@ -447,6 +447,69 @@ def allgather(
     touch = _issue_plan(cl, plan, name, per_dev, extra, fn,
                         [None] * cl.G, budget)
     _log(cl, name, "allgather", algo, bytes_per_device)
+    return _done_events(cl, touch, name)
+
+
+def grouped_alltoall(
+    cl,
+    bytes_sent_per_device: float,
+    name: str,
+    groups: Sequence[Sequence[int]] = (),
+    after: Sequence[Event] = (),
+    fn: Callable | None = None,
+    reads: Sequence[str] = (),
+    writes: Sequence[str] = ("comm",),
+) -> list[Event]:
+    """Concurrent personalized all-to-alls over disjoint device groups.
+
+    The pencil-decomposed FFT exchanges within row/column subgroups of
+    the process grid — many small all-to-alls running *simultaneously*.
+    Issuing them as separate collectives would price each in isolation;
+    this merges round ``k`` of every group into one global round, so
+    :func:`repro.comm.plans.message_bandwidths` sees the cross-group
+    contention on shared NICs and fabric uplinks.  Each member of an
+    ``n``-device group sends ``bytes_sent_per_device`` split over its
+    ``n - 1`` peers (pairwise permutation rounds, no forwarding).
+    Devices outside every group do not participate.  Returns one
+    completion event per device.
+    """
+    seen: set[int] = set()
+    for grp in groups:
+        for g in grp:
+            if not 0 <= g < cl.G:
+                raise ParameterError(f"group device {g} out of range 0..{cl.G - 1}")
+            if g in seen:
+                raise ParameterError(f"device {g} appears in two groups")
+            seen.add(g)
+    if not writes:
+        raise ParameterError("grouped_alltoall needs at least one write buffer")
+    rounds: list[tuple] = []
+    nmax = max((len(grp) for grp in groups), default=0)
+    for k in range(1, nmax):
+        msgs = []
+        for grp in groups:
+            n = len(grp)
+            if k >= n:
+                continue
+            s = bytes_sent_per_device / (n - 1)
+            for i, g in enumerate(grp):
+                msgs.append(_plans.Msg(
+                    g, grp[(i + k) % n], s, tuple(reads),
+                    tuple(f"{w}#s{g}" for w in writes)))
+        if msgs:
+            rounds.append(tuple(msgs))
+    plan = _plans.CommPlan(algorithm="grouped", kind="alltoall",
+                           rounds=tuple(rounds), chained=False)
+    touch: list = [None] * cl.G
+    if plan.rounds:
+        per_dev, extra = _normalize_after(after, cl.G)
+        touch = _issue_plan(cl, plan, name, per_dev, extra, fn, touch,
+                            _new_budget(cl))
+        cl.comm_log.append({
+            "name": name, "kind": "alltoall", "algorithm": "grouped",
+            "payload": bytes_sent_per_device, "chunks": 1, "G": cl.G,
+            "predicted": _plans.plan_time(cl.spec, plan),
+        })
     return _done_events(cl, touch, name)
 
 

@@ -28,6 +28,13 @@ Algorithms (``ALGORITHMS``):
     Two-level leader-based plan for multi-node machines (``node_of``
     annotation): funnel to the node leader, exchange between leaders
     over the NICs, scatter locally.
+``hier2``
+    Node-aware two-level plan that spreads the inter-node exchanges
+    across a node's devices instead of funneling through one leader:
+    intra-node gather to per-peer-node relays, exactly one inter-node
+    message per ordered node pair, intra-node scatter.  The relay for
+    node ``j`` within node ``i`` is ``groups[i][j % len(groups[i])]``,
+    so NIC injection is load-balanced over the node's devices.
 
 Every message carries read/write declares: reads on the source, writes
 on the destination, using ``#part`` sub-resources so concurrent messages
@@ -43,12 +50,12 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.machine import topology as topo
+from repro.machine import routing, topology as topo
 from repro.util.validation import ParameterError
 
 #: All algorithm names accepted by :func:`repro.comm.api.alltoall` /
 #: ``allgather`` ("auto" resolves to one of the others per call).
-ALGORITHMS = ("bulk", "direct", "ring", "bruck", "hier")
+ALGORITHMS = ("bulk", "direct", "ring", "bruck", "hier", "hier2")
 
 #: Collective kinds a plan can be built for.
 KINDS = ("alltoall", "allgather")
@@ -309,6 +316,151 @@ def _allgather_hier(graph, G: int, b: float, reads: tuple, writes: tuple,
     return tuple(rounds), True
 
 
+def hier2_relay(groups: list[list[int]], i: int, j: int) -> int:
+    """The device in node ``i`` that exchanges with node ``j``.
+
+    ``groups[i][j % len(groups[i])]`` — a static assignment that spreads
+    the per-peer-node relay duty across the node's devices, so a node's
+    NIC traffic is injected by many devices instead of one leader.
+    """
+    grp = groups[i]
+    return grp[j % len(grp)]
+
+
+def _alltoall_hier2(graph, G: int, payload: float, reads: tuple,
+                    writes: tuple, part: str) -> tuple[tuple, bool]:
+    groups = _node_groups(graph)
+    if groups is None or len(groups) < 2:
+        raise ParameterError("hier2 plans need a multi-node topology (node_of)")
+    s = payload / (G - 1)
+    w0 = writes[0]
+    nnodes = len(groups)
+    rounds: list[tuple] = []
+    # phase 0: intra-node pairwise exchange (final placement)
+    for k in range(1, max(len(grp) for grp in groups)):
+        msgs = []
+        for grp in groups:
+            if k >= len(grp):
+                continue
+            for i, g in enumerate(grp):
+                dst = grp[(i + k) % len(grp)]
+                msgs.append(Msg(g, dst, s, reads,
+                                tuple(f"{w}{part}#s{g}" for w in writes)))
+        if msgs:
+            rounds.append(tuple(msgs))
+    # phase 1: gather — each device hands every relay the blocks that
+    # relay will carry, one combined message per (device, relay) pair
+    msgs = []
+    for i, grp in enumerate(groups):
+        for g in grp:
+            per_relay: dict[int, list[int]] = {}
+            for j in range(nnodes):
+                if j == i:
+                    continue
+                h = hier2_relay(groups, i, j)
+                if h == g:  # g relays its own blocks for node j
+                    continue
+                per_relay.setdefault(h, []).append(j)
+            for h, js in sorted(per_relay.items()):
+                nb = s * sum(len(groups[j]) for j in js)
+                wr = tuple(f"{w0}{part}#g{g}@{j}" for j in js)
+                msgs.append(Msg(g, h, nb, reads, wr))
+    if msgs:
+        rounds.append(tuple(msgs))
+    # phase 2: exactly one inter-node message per ordered node pair,
+    # scheduled as nnodes-1 contention-free permutation rounds
+    for k in range(1, nnodes):
+        msgs = []
+        for i in range(nnodes):
+            j = (i + k) % nnodes
+            src = hier2_relay(groups, i, j)
+            dst = hier2_relay(groups, j, i)
+            nb = s * len(groups[i]) * len(groups[j])
+            rd = reads + tuple(
+                f"{w0}{part}#g{g}@{j}" for g in groups[i] if g != src
+            )
+            msgs.append(Msg(src, dst, nb, rd, (f"{w0}{part}#x{i}",)))
+        rounds.append(tuple(msgs))
+    # phase 3: scatter — each relay delivers the foreign blocks it
+    # received to their final local destinations
+    msgs = []
+    for j, grp in enumerate(groups):
+        for g in grp:
+            per_relay = {}
+            for i in range(nnodes):
+                if i == j:
+                    continue
+                r = hier2_relay(groups, j, i)
+                if r == g:  # arrived at g directly in phase 2
+                    continue
+                per_relay.setdefault(r, []).append(i)
+            for r, srcs in sorted(per_relay.items()):
+                nb = s * sum(len(groups[i]) for i in srcs)
+                rd = tuple(f"{w0}{part}#x{i}" for i in srcs)
+                msgs.append(Msg(r, g, nb, rd,
+                                tuple(f"{w}{part}#rem{r}" for w in writes)))
+    if msgs:
+        rounds.append(tuple(msgs))
+    return tuple(rounds), True
+
+
+def _allgather_hier2(graph, G: int, b: float, reads: tuple, writes: tuple,
+                     part: str) -> tuple[tuple, bool]:
+    groups = _node_groups(graph)
+    if groups is None or len(groups) < 2:
+        raise ParameterError("hier2 plans need a multi-node topology (node_of)")
+    nnodes = len(groups)
+    rounds: list[tuple] = []
+
+    def blocks(devs) -> tuple:
+        return tuple(f"{w}{part}#b{x}" for x in devs for w in writes)
+
+    # phase 0: intra-node pairwise allgather (every device gets its
+    # siblings' contributions — so any device can relay the node block)
+    for k in range(1, max(len(grp) for grp in groups)):
+        msgs = []
+        for grp in groups:
+            if k >= len(grp):
+                continue
+            for i, g in enumerate(grp):
+                msgs.append(Msg(g, grp[(i + k) % len(grp)], b, reads,
+                                blocks([g])))
+        if msgs:
+            rounds.append(tuple(msgs))
+    # phase 1: one inter-node message per ordered node pair carries the
+    # whole node block, relays spread across the node's devices
+    for k in range(1, nnodes):
+        msgs = []
+        for i in range(nnodes):
+            j = (i + k) % nnodes
+            src = hier2_relay(groups, i, j)
+            dst = hier2_relay(groups, j, i)
+            rd = reads + blocks([g for g in groups[i] if g != src])
+            msgs.append(Msg(src, dst, len(groups[i]) * b, rd,
+                            blocks(groups[i])))
+        rounds.append(tuple(msgs))
+    # phase 2: relays broadcast the foreign node blocks they received
+    # to their local siblings
+    msgs = []
+    for j, grp in enumerate(groups):
+        for g in grp:
+            per_relay: dict[int, list[int]] = {}
+            for i in range(nnodes):
+                if i == j:
+                    continue
+                r = hier2_relay(groups, j, i)
+                if r == g:
+                    continue
+                per_relay.setdefault(r, []).append(i)
+            for r, srcs in sorted(per_relay.items()):
+                origins = [x for i in srcs for x in groups[i]]
+                msgs.append(Msg(r, g, len(origins) * b, blocks(origins),
+                                blocks(origins)))
+    if msgs:
+        rounds.append(tuple(msgs))
+    return tuple(rounds), True
+
+
 # ---------------------------------------------------------------------------
 # dispatch + costing
 # ---------------------------------------------------------------------------
@@ -358,6 +510,10 @@ def build_plan(
         rounds, chained = (_alltoall_hier if kind == "alltoall"
                            else _allgather_hier)(spec.graph, G, payload,
                                                  reads, writes, part)
+    elif algorithm == "hier2":
+        rounds, chained = (_alltoall_hier2 if kind == "alltoall"
+                           else _allgather_hier2)(spec.graph, G, payload,
+                                                  reads, writes, part)
     else:
         raise ParameterError(
             f"unknown plan algorithm {algorithm!r}; choose from "
@@ -372,29 +528,49 @@ def build_plan(
     return plan
 
 
+def _message_hops(spec, m) -> tuple[tuple[tuple, float], ...]:
+    """(contention key, capacity) per wire segment the message crosses.
+
+    Direct edges are a single dedicated segment.  Inter-node messages
+    follow their routed path (:mod:`repro.machine.routing`): the source
+    node's NIC, any leaf/spine uplinks, the destination node's NIC —
+    keys are per *shared interface* (per node, per leaf), so all of a
+    node's devices contend for its one NIC.  Same-node pairs without an
+    edge keep the per-device fallback ports (PCIe injection/ejection).
+    """
+    graph = spec.graph
+    if graph.has_edge(m.src, m.dst):
+        bw = graph.edges[m.src, m.dst]["link"].bandwidth
+        return ((("edge", m.src, m.dst), bw),)
+    node_of = graph.graph.get("node_of")
+    if node_of is not None:
+        na, nb = node_of.get(m.src), node_of.get(m.dst)
+        if na is not None and nb is not None and na != nb:
+            return tuple(
+                (h.key, h.bandwidth)
+                for h in routing.route_hops(graph, m.src, m.dst)
+            )
+    fb = topo.fallback_link(graph).bandwidth
+    return ((("fb-tx", m.src), fb), (("fb-rx", m.dst), fb))
+
+
 def message_bandwidths(spec, msgs) -> list[float]:
     """Contention-adjusted effective bandwidth for each message of a round.
 
-    Messages on a dedicated direct edge share it only with same-direction
-    traffic on that edge; messages without an edge serialize through
-    their endpoints' shared fallback interfaces (PCIe/NIC).  Each
-    message's bandwidth is its link rate divided by the worst sharing
-    count among the interfaces it crosses — links stay full duplex, so
-    opposite directions never contend.
+    Each message crosses a sequence of segments (a dedicated edge, or
+    the hops of its routed path); within a round every segment is shared
+    equally by the same-direction messages mapped to it.  A message's
+    bandwidth is the minimum over its segments of ``capacity / load`` —
+    links stay full duplex, so opposite directions never contend.
     """
     load: Counter = Counter()
-    keys = []
-    for m in msgs:
-        if spec.graph.has_edge(m.src, m.dst):
-            k = (("edge", m.src, m.dst),)
-        else:
-            k = (("fb-tx", m.src), ("fb-rx", m.dst))
-        keys.append(k)
-        for kk in k:
-            load[kk] += 1
+    hops_per_msg = [_message_hops(spec, m) for m in msgs]
+    for hops in hops_per_msg:
+        for key, _ in hops:
+            load[key] += 1
     return [
-        spec.pair_bandwidth(m.src, m.dst) / max(load[kk] for kk in k)
-        for m, k in zip(msgs, keys)
+        min(bw / load[key] for key, bw in hops)
+        for hops in hops_per_msg
     ]
 
 

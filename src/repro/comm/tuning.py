@@ -30,7 +30,7 @@ def candidate_algorithms(spec) -> list[str]:
     cands = ["direct", "ring", "bruck"]
     node_of = spec.graph.graph.get("node_of")
     if node_of and len(set(node_of.values())) > 1:
-        cands.append("hier")
+        cands += ["hier", "hier2"]
     return cands
 
 

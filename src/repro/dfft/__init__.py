@@ -12,6 +12,10 @@ Two pipelines, both built from :mod:`repro.fftcore` local transforms and
   **single** all-to-all, plus cuFFT-style load callbacks used to fuse
   the FMM-FFT's POST stage into the first FFT (Algorithm 1, lines
   15-16).
+- :class:`~repro.dfft.decomp.Distributed3DFFT` — slab and pencil
+  decompositions of a 3D transform for routed multi-node machines: one
+  global all-to-all (slab) vs. two subgroup exchanges on a ``Gr x Gc``
+  process grid (pencil).
 
 Both run real NumPy numerics in ``execute=True`` clusters and
 shape-determined timing in ``execute=False`` clusters.
@@ -23,12 +27,15 @@ from repro.dfft.layout import BlockRows
 from repro.dfft.transpose import distributed_transpose
 from repro.dfft.fft1d import Distributed1DFFT
 from repro.dfft.fft2d import Distributed2DFFT
+from repro.dfft.decomp import Distributed3DFFT, default_grid
 from repro.dfft.realfft import DistributedRealFFT
 
 __all__ = [
     "BlockRows",
     "Distributed1DFFT",
     "Distributed2DFFT",
+    "Distributed3DFFT",
     "DistributedRealFFT",
+    "default_grid",
     "distributed_transpose",
 ]

@@ -31,6 +31,7 @@ from repro.faults.injector import (
     LinkDegrade,
     LinkFlap,
     Straggler,
+    node_loss,
     seeded_chaos,
 )
 
@@ -43,5 +44,6 @@ __all__ = [
     "LinkDegrade",
     "LinkFlap",
     "Straggler",
+    "node_loss",
     "seeded_chaos",
 ]

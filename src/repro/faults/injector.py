@@ -343,6 +343,24 @@ def _check_device(d: int, G: int) -> None:
         raise ParameterError(f"fault references device {d}, machine has 0..{G - 1}")
 
 
+def node_loss(spec: ClusterSpec, node: int, time: float) -> tuple:
+    """One :class:`DeviceLoss` per device of ``node`` — a whole-node
+    failure (power, NIC, or top-of-rack port) at ``time``.
+
+    Requires a multi-node spec (``node_of`` annotation); feed the tuple
+    to :class:`FaultInjector`'s ``scheduled`` alongside other faults.
+    """
+    node_of = spec.graph.graph.get("node_of")
+    if not node_of:
+        raise ParameterError("node_loss needs a multi-node spec (node_of)")
+    devs = sorted(d for d, nd in node_of.items() if nd == node)
+    if not devs:
+        raise ParameterError(
+            f"node {node} has no devices; nodes: {sorted(set(node_of.values()))}"
+        )
+    return tuple(DeviceLoss(d, time) for d in devs)
+
+
 def seeded_chaos(
     spec: ClusterSpec,
     seed: int = 0,

@@ -8,6 +8,10 @@ package replaces that hardware with an event-driven simulator:
 - :mod:`repro.machine.topology` — networkx interconnect graphs (PCIe
   switch, NVLink pair, DGX-1 hybrid cube-mesh) and an all-to-all
   effective-bandwidth analysis based on shortest-path link loading.
+- :mod:`repro.machine.routing` / :mod:`multinode` — routed multi-node
+  fabrics: NVLink islands joined by a two-level fat tree
+  (:class:`~repro.machine.routing.Fabric`) with per-hop latency and
+  per-interface (NIC / leaf-uplink) contention.
 - :mod:`repro.machine.roofline` — per-op cost via the paper's Eq. (3),
   ``T = W / min(gamma, beta * W / D)``, plus the GEMM/BatchedGEMM
   performance curves of Figure 1.
@@ -43,13 +47,15 @@ from repro.machine.ledger import Ledger, OpRecord
 from repro.machine.trace import ExecutionTrace
 from repro.machine.roofline import op_time, gemm_performance
 from repro.machine.topology import alltoall_effective_bandwidth
-from repro.machine.multinode import multinode_p100
+from repro.machine.routing import Fabric, route_hops, trace_route
+from repro.machine.multinode import multinode_p100, routed_multinode_p100
 
 __all__ = [
     "ClusterSpec",
     "DeviceSpec",
     "Event",
     "ExecutionTrace",
+    "Fabric",
     "K40C",
     "Ledger",
     "LinkSpec",
@@ -66,4 +72,7 @@ __all__ = [
     "op_time",
     "p100_nvlink_node",
     "preset",
+    "route_hops",
+    "routed_multinode_p100",
+    "trace_route",
 ]

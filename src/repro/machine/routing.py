@@ -1,0 +1,246 @@
+"""Routed inter-node fabrics: per-hop paths, latency, and contention.
+
+Flat multi-node graphs (:func:`repro.machine.multinode.multinode_graph`)
+model the inter-node path as a single NIC-to-NIC hop.  Real clusters
+route through a switched fabric — typically a two-level fat tree: every
+node's NIC plugs into a leaf switch, leaves join through a spine layer,
+and the leaf uplinks are often *oversubscribed* (less up-capacity than
+down-capacity).  This module adds that fabric as a routing layer over
+the existing topology graph:
+
+- :class:`Fabric` describes the tree (NIC link, switch radix,
+  oversubscription factor, per-switch traversal latency).  It lives in
+  ``graph.graph["fabric"]``; graphs without one keep the flat model.
+- :func:`next_hop` is the per-entity routing table (``node -> leaf ->
+  spine -> leaf -> node``); :func:`trace_route` walks it hop by hop and
+  returns the entity path, traceroute style.
+- :func:`route_hops` prices the path: one :class:`Hop` per wire segment
+  with its bandwidth and the contention-resource key it occupies.  The
+  comm layer's round costing charges an inter-node message the minimum
+  hop bandwidth after sharing, and :func:`inter_latency` accumulates the
+  per-hop latencies plus the MPI software overhead stored in
+  ``graph.graph["mpi_latency"]``.
+
+Contention keys are per *shared interface*, not per device: every
+message leaving a node occupies ``("nic-tx", node)`` — all of a node's
+devices serialize through one NIC — and every cross-leaf message
+occupies its leaf's aggregate ``("up", leaf)`` / ``("down", leaf)``
+capacity, which is where oversubscription bites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.util.validation import ParameterError, check_positive
+
+
+class Hop(NamedTuple):
+    """One wire segment of a routed path.
+
+    ``key`` is the contention resource the segment occupies (shared
+    equally by same-direction messages within a round), ``bandwidth``
+    the segment's capacity, ``latency`` its traversal overhead.
+    """
+
+    key: tuple
+    bandwidth: float
+    latency: float
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """A two-level fat-tree inter-node fabric.
+
+    Attributes
+    ----------
+    nic:
+        The node-to-leaf link (anything with ``bandwidth``/``latency``,
+        e.g. a :class:`~repro.machine.spec.LinkSpec`).
+    radix:
+        Switch port count; half the ports face down (nodes), so a leaf
+        serves ``radix // 2`` nodes.
+    oversubscription:
+        Ratio of a leaf's down-capacity to its up-capacity; 1.0 is a
+        full-bisection (non-blocking) tree, 2.0 halves the uplinks.
+    switch_latency:
+        Per-switch traversal latency (cut-through forwarding).
+    """
+
+    nic: object
+    radix: int = 36
+    oversubscription: float = 1.0
+    switch_latency: float = 0.5e-6
+
+    def __post_init__(self):
+        if self.radix < 2:
+            raise ParameterError(f"radix must be >= 2, got {self.radix}")
+        check_positive("oversubscription", self.oversubscription)
+        check_positive("switch_latency", self.switch_latency)
+        for attr in ("bandwidth", "latency"):
+            if not hasattr(self.nic, attr):
+                raise ParameterError(f"fabric nic needs a {attr!r} attribute")
+
+    @property
+    def nodes_per_leaf(self) -> int:
+        return self.radix // 2
+
+    @property
+    def uplink_bandwidth(self) -> float:
+        """Aggregate up/down capacity of one leaf switch."""
+        return self.nodes_per_leaf * self.nic.bandwidth / self.oversubscription
+
+    def leaf_of(self, node: int) -> int:
+        return node // self.nodes_per_leaf
+
+
+def fabric_of(graph):
+    """The graph's :class:`Fabric`, or None for flat (single-hop) NICs."""
+    return graph.graph.get("fabric")
+
+
+def mpi_latency(graph) -> float:
+    """MPI software latency charged on top of the wire for inter-node."""
+    return float(graph.graph.get("mpi_latency", 0.0))
+
+
+def validate_node_cover(graph) -> None:
+    """Require ``node_of`` (when present) to map every device.
+
+    A device missing from ``node_of`` would make every classification
+    based on ``node_of.get(...)`` silently compare ``None == None`` and
+    misprice inter-node traffic as intra-node — so incomplete maps are
+    rejected at construction time instead.
+    """
+    node_of = graph.graph.get("node_of")
+    if node_of is None:
+        return
+    missing = sorted(set(graph.nodes) - set(node_of))
+    if missing:
+        raise ParameterError(
+            f"node_of must cover every device; missing {missing}"
+        )
+
+
+def _node_pair(graph, a: int, b: int) -> tuple[int, int]:
+    node_of = graph.graph.get("node_of")
+    if node_of is None:
+        raise ParameterError("routing needs a multi-node graph (node_of)")
+    try:
+        return node_of[a], node_of[b]
+    except KeyError as e:
+        raise ParameterError(f"device {e.args[0]} missing from node_of") from None
+
+
+def _nic_of(graph):
+    fab = fabric_of(graph)
+    if fab is not None:
+        return fab.nic
+    nic = graph.graph.get("fallback_link")
+    if nic is None:
+        raise ParameterError("multi-node graph has no NIC (fallback_link)")
+    return nic
+
+
+def next_hop(graph, entity: str, dst_node: int) -> str | None:
+    """One routing-table lookup: the next entity toward ``dst_node``.
+
+    Entities are ``"node:<i>"``, ``"leaf:<l>"``, ``"spine"`` — or
+    ``"switch"``, the single implicit crossbar of a fabric-less
+    multi-node graph.  Returns None once delivered.
+    """
+    kind, _, arg = entity.partition(":")
+    fab = fabric_of(graph)
+    if kind == "node":
+        cur = int(arg)
+        if cur == dst_node:
+            return None
+        return "switch" if fab is None else f"leaf:{fab.leaf_of(cur)}"
+    if kind == "switch":
+        return f"node:{dst_node}"
+    if kind == "leaf":
+        if fab.leaf_of(dst_node) == int(arg):
+            return f"node:{dst_node}"
+        return "spine"
+    if kind == "spine":
+        return f"leaf:{fab.leaf_of(dst_node)}"
+    raise ParameterError(f"unknown routing entity {entity!r}")
+
+
+def trace_route(graph, a: int, b: int) -> list[str]:
+    """The entity path a -> b, walked hop by hop off the routing table."""
+    na, nb = _node_pair(graph, a, b)
+    path = [f"node:{na}"]
+    for _ in range(8):  # a two-level tree routes in <= 4 hops
+        nxt = next_hop(graph, path[-1], nb)
+        if nxt is None:
+            return path
+        path.append(nxt)
+    raise ParameterError(f"route {a}->{b} did not terminate: {path}")
+
+
+def cross_leaf(graph, a: int, b: int) -> bool:
+    """True when a->b crosses the spine (endpoints on different leaves)."""
+    fab = fabric_of(graph)
+    if fab is None:
+        return False
+    na, nb = _node_pair(graph, a, b)
+    return fab.leaf_of(na) != fab.leaf_of(nb)
+
+
+def route_hops(graph, a: int, b: int) -> list[Hop]:
+    """Wire segments of the routed inter-node path a -> b.
+
+    The NIC latency is charged on the injecting segment; every further
+    segment charges the latency of the switch it exits.
+    """
+    na, nb = _node_pair(graph, a, b)
+    if na == nb:
+        raise ParameterError(f"devices {a} and {b} share node {na}; no route")
+    fab = fabric_of(graph)
+    nic = _nic_of(graph)
+    sw = fab.switch_latency if fab is not None else 0.0
+    path = trace_route(graph, a, b)
+    hops: list[Hop] = []
+    for prev, cur in zip(path, path[1:]):
+        pk = prev.partition(":")[0]
+        ck, _, carg = cur.partition(":")
+        if pk == "node":
+            hops.append(Hop(("nic-tx", na), nic.bandwidth, nic.latency))
+        elif ck == "node":
+            hops.append(Hop(("nic-rx", nb), nic.bandwidth, sw))
+        elif ck == "spine":
+            hops.append(Hop(("up", int(prev.partition(":")[2])),
+                            fab.uplink_bandwidth, sw))
+        else:  # spine -> leaf
+            hops.append(Hop(("down", int(carg)), fab.uplink_bandwidth, sw))
+    return hops
+
+
+def inter_latency(graph, a: int, b: int) -> float:
+    """Routed inter-node latency: MPI overhead + per-hop accumulation."""
+    return mpi_latency(graph) + sum(h.latency for h in route_hops(graph, a, b))
+
+
+def inter_bandwidth(graph, a: int, b: int) -> float:
+    """Uncontended bandwidth of the routed path (bottleneck segment)."""
+    return min(h.bandwidth for h in route_hops(graph, a, b))
+
+
+def worst_route_latency(graph) -> float:
+    """The worst routed inter-node latency, without enumerating pairs.
+
+    Every inter-node route pays NIC + MPI; fabric routes add one switch
+    traversal same-leaf and three cross-leaf — so the worst case is a
+    per-class constant, not an O(n^2) scan.
+    """
+    node_of = graph.graph.get("node_of")
+    if node_of is None or len(set(node_of.values())) < 2:
+        return 0.0
+    lat = mpi_latency(graph) + _nic_of(graph).latency
+    fab = fabric_of(graph)
+    if fab is not None:
+        leaves = {fab.leaf_of(nd) for nd in set(node_of.values())}
+        lat += fab.switch_latency * (3 if len(leaves) > 1 else 1)
+    return lat

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field, replace
 import networkx as nx
 import numpy as np
 
-from repro.machine import topology as topo
+from repro.machine import routing, topology as topo
 from repro.util.validation import ParameterError, check_positive
 
 
@@ -140,6 +140,9 @@ class ClusterSpec:
             # disconnected islands are fine when a fallback path (PCIe,
             # NIC) joins them; otherwise the graph is misbuilt
             raise ParameterError("interconnect graph must be connected")
+        # an incomplete node_of would silently misclassify inter-node
+        # pairs (None == None) — reject it before any message is priced
+        routing.validate_node_cover(self.graph)
 
     def link(self, a: int, b: int) -> LinkSpec:
         """The direct link between devices ``a`` and ``b`` (must exist)."""
@@ -156,13 +159,10 @@ class ClusterSpec:
         return topo.alltoall_effective_bandwidth(self.graph)
 
     def comm_latency(self) -> float:
-        """Representative per-message latency (worst link or fallback)."""
+        """Representative per-message latency (worst routed path)."""
         if self.num_devices == 1:
             return 0.0
-        lat = max(d["link"].latency for _, _, d in self.graph.edges(data=True))
-        if any((self.num_devices - 1) > d for _, d in self.graph.degree()):
-            lat = max(lat, topo.fallback_link(self.graph).latency)
-        return lat
+        return topo.diameter_latency(self.graph)
 
 
 #: Tesla K40c with the paper's achieved parameters.
@@ -291,6 +291,7 @@ def spec_fingerprint(spec: ClusterSpec) -> str:
     dev = spec.device
     fb = spec.graph.graph.get("fallback_link")
     node_of = spec.graph.graph.get("node_of")
+    fab = routing.fabric_of(spec.graph)
     doc = {
         "device": [dev.name, dev.gamma_f, dev.gamma_d, dev.beta,
                    dev.launch_latency, dev.batched_gemm_derate,
@@ -303,6 +304,10 @@ def spec_fingerprint(spec: ClusterSpec) -> str:
         "fallback": None if fb is None else [fb.bandwidth, fb.latency],
         "node_of": (None if node_of is None
                     else sorted((int(g), int(n)) for g, n in node_of.items())),
+        "mpi_latency": routing.mpi_latency(spec.graph),
+        "fabric": (None if fab is None
+                   else [fab.nic.bandwidth, fab.nic.latency, fab.radix,
+                         fab.oversubscription, fab.switch_latency]),
         "collective_overhead": spec.collective_overhead,
     }
     blob = json.dumps(doc, sort_keys=True).encode()

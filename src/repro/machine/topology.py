@@ -25,9 +25,11 @@ Two derived quantities drive the simulator's communication costs:
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 
 import networkx as nx
 
+from repro.machine import routing
 from repro.util.validation import ParameterError
 
 #: Shared PCIe/QPI path used when two GPUs have no NVLink edge
@@ -110,19 +112,37 @@ def fallback_link(graph: nx.Graph):
     return fb
 
 
+def _internode(graph: nx.Graph, a: int, b: int) -> bool:
+    """True when both endpoints are mapped to *different* nodes."""
+    node_of = graph.graph.get("node_of")
+    if node_of is None:
+        return False
+    na, nb = node_of.get(a), node_of.get(b)
+    return na is not None and nb is not None and na != nb
+
+
 def pair_bandwidth(graph: nx.Graph, a: int, b: int) -> float:
     """Effective bandwidth for a lone a->b transfer."""
     if a == b:
         raise ParameterError("pair_bandwidth requires distinct devices")
     if graph.has_edge(a, b):
         return graph.edges[a, b]["link"].bandwidth
+    if _internode(graph, a, b):
+        return routing.inter_bandwidth(graph, a, b)
     return fallback_link(graph).bandwidth
 
 
 def pair_latency(graph: nx.Graph, a: int, b: int) -> float:
-    """Per-message latency for an a->b transfer."""
+    """Per-message latency for an a->b transfer.
+
+    Inter-node pairs pay the routed path: MPI software overhead plus
+    each hop's traversal latency (NIC, switches) accumulated along the
+    route — not just the NIC's wire latency.
+    """
     if graph.has_edge(a, b):
         return graph.edges[a, b]["link"].latency
+    if _internode(graph, a, b):
+        return routing.inter_latency(graph, a, b)
     return fallback_link(graph).latency
 
 
@@ -130,16 +150,29 @@ def link_class(graph: nx.Graph, a: int, b: int) -> str:
     """Coarse label for the path an a->b message crosses.
 
     ``"self"`` (no wire), ``"inter-node"`` (endpoints on different
-    nodes of a multi-node graph), ``"direct"`` (a dedicated edge), or
+    nodes of a multi-node graph, same leaf switch), ``"inter-node-far"``
+    (crossing the fabric spine), ``"direct"`` (a dedicated edge), or
     ``"fallback"`` (the shared fallback interface).  This is the
     ``link_class`` label on the ``comm.bytes`` telemetry series —
     bounded cardinality, unlike per-pair labels.
+
+    A ``node_of`` map that omits either endpoint is an error: silently
+    comparing ``None == None`` would misclassify an inter-node pair as
+    ``direct``/``fallback`` and misprice its traffic.
     """
     if a == b:
         return "self"
     node_of = graph.graph.get("node_of")
-    if node_of is not None and node_of.get(a) != node_of.get(b):
-        return "inter-node"
+    if node_of is not None:
+        missing = [d for d in (a, b) if d not in node_of]
+        if missing:
+            raise ParameterError(
+                f"node_of must cover every device; missing {missing}"
+            )
+        if node_of[a] != node_of[b]:
+            if routing.cross_leaf(graph, a, b):
+                return "inter-node-far"
+            return "inter-node"
     return "direct" if graph.has_edge(a, b) else "fallback"
 
 
@@ -168,13 +201,22 @@ def alltoall_effective_bandwidth(graph: nx.Graph, efficiency: float = ALLTOALL_E
     if node_of is not None:
         # Multi-node: all off-node traffic of a node's devices serializes
         # through that node's single NIC (both directions full duplex).
-        from collections import Counter
-
         per_node = Counter(node_of.values())
         worst_fallback = 0.0
         for node, g_local in per_node.items():
             off_node_pairs = g_local * (n - g_local)
             worst_fallback = max(worst_fallback, off_node_pairs / fb.bandwidth)
+        fab = routing.fabric_of(graph)
+        if fab is not None:
+            # Fabric: a leaf's cross-leaf traffic serializes through its
+            # (possibly oversubscribed) aggregate uplink capacity.
+            leaf_devs: Counter = Counter()
+            for node, g_local in per_node.items():
+                leaf_devs[fab.leaf_of(node)] += g_local
+            up = fab.uplink_bandwidth
+            for leaf, d_local in leaf_devs.items():
+                cross_pairs = d_local * (n - d_local)
+                worst_fallback = max(worst_fallback, cross_pairs / up)
     else:
         worst_fallback = 0.0
         for a in graph.nodes:
@@ -185,13 +227,33 @@ def alltoall_effective_bandwidth(graph: nx.Graph, efficiency: float = ALLTOALL_E
 
 
 def diameter_latency(graph: nx.Graph) -> float:
-    """Worst-case single-message latency across the topology."""
+    """Worst-case single-message latency across the topology.
+
+    Scans per link *class* instead of all O(n^2) pairs: the worst
+    direct edge (one edge pass), the shared fallback when any same-node
+    pair lacks an edge, and the worst routed inter-node path — whose
+    per-hop latencies are *summed* along the route (NIC + switches +
+    MPI overhead), not approximated by the largest single hop.
+    """
     n = graph.number_of_nodes()
     if n < 2:
         return 0.0
-    worst = 0.0
-    for a in graph.nodes:
-        for b in graph.nodes:
-            if a < b:
-                worst = max(worst, pair_latency(graph, a, b))
+    worst = max(
+        (d["link"].latency for _, _, d in graph.edges(data=True)), default=0.0
+    )
+    node_of = graph.graph.get("node_of")
+    if node_of is None:
+        if any(graph.degree(a) < n - 1 for a in graph.nodes):
+            worst = max(worst, fallback_link(graph).latency)
+        return worst
+    # same-node pairs missing a direct edge ride the shared fallback
+    per_node = Counter(node_of.values())
+    intra_edges: Counter = Counter()
+    for a, b in graph.edges():
+        if node_of.get(a) == node_of.get(b):
+            intra_edges[node_of.get(a)] += 1
+    if any(intra_edges[nd] < g * (g - 1) // 2 for nd, g in per_node.items()):
+        worst = max(worst, fallback_link(graph).latency)
+    if len(per_node) > 1:
+        worst = max(worst, routing.worst_route_latency(graph))
     return worst

@@ -25,7 +25,7 @@ from repro.analysis.plancheck import (
 from repro.comm.plans import CommPlan, build_plan
 from repro.faults.injector import FaultInjector, LinkDegrade, LinkFlap
 from repro.machine import topology as topo
-from repro.machine.multinode import multinode_p100
+from repro.machine.multinode import multinode_p100, routed_multinode_p100
 from repro.machine.spec import (
     NVLINK_P100_LINK,
     P100,
@@ -71,6 +71,11 @@ MULTI_SPECS = [multinode_p100(2, gpus_per_node=2),
                multinode_p100(2, gpus_per_node=4),
                multinode_p100(3, gpus_per_node=2),
                dgx1_p100()]
+#: routed fat-tree machines: radix 4 -> 2 nodes/leaf, so the 5-node row
+#: crosses the spine; uneven gpus_per_node is covered by MULTI_SPECS[2]
+ROUTED_SPECS = [routed_multinode_p100(2, gpus_per_node=4, radix=4),
+                routed_multinode_p100(5, gpus_per_node=2, radix=4,
+                                      oversubscription=2.0)]
 
 
 @pytest.mark.parametrize("kind", ["alltoall", "allgather"])
@@ -86,6 +91,22 @@ def test_healthy_plans_certify(spec, kind, algorithm):
 @pytest.mark.parametrize("spec", MULTI_SPECS[:3], ids=lambda s: s.name)
 def test_healthy_hier_plans_certify(spec, kind):
     cert = check_plan(spec, plan_for(spec, kind, "hier"), PAYLOAD)
+    assert cert.ok, cert.render()
+
+
+@pytest.mark.parametrize("kind", ["alltoall", "allgather"])
+@pytest.mark.parametrize("spec", MULTI_SPECS[:3] + ROUTED_SPECS,
+                         ids=lambda s: s.name)
+def test_healthy_hier2_plans_certify(spec, kind):
+    cert = check_plan(spec, plan_for(spec, kind, "hier2"), PAYLOAD)
+    assert cert.ok, cert.render()
+
+
+@pytest.mark.parametrize("kind", ["alltoall", "allgather"])
+@pytest.mark.parametrize("algorithm", ["direct", "ring", "bruck"])
+@pytest.mark.parametrize("spec", ROUTED_SPECS, ids=lambda s: s.name)
+def test_healthy_plans_certify_on_routed_fabrics(spec, kind, algorithm):
+    cert = check_plan(spec, plan_for(spec, kind, algorithm), PAYLOAD)
     assert cert.ok, cert.render()
 
 
@@ -221,6 +242,66 @@ class TestSeededMutations:
         cert = self.check(mutate(plan, ()))
         assert rules_of(cert) == ["deadlock-malformed"]
 
+    def test_dropped_internode_round_is_conservation(self):
+        # hier2 with a whole node-pair exchange round removed: every
+        # block crossing that pair is stranded in relay staging
+        mspec = multinode_p100(3, gpus_per_node=2)
+        plan = plan_for(mspec, "alltoall", "hier2")
+        # drop the first inter-node exchange round (writes into #x parts)
+        exchange = [k for k, r in enumerate(plan.rounds)
+                    if any("#x" in w for m in r for w in m.writes)]
+        assert exchange, "hier2 plan must have inter-node exchange rounds"
+        rounds = list(plan.rounds)
+        del rounds[exchange[0]]
+        cert = check_plan(mspec, mutate(plan, rounds), PAYLOAD)
+        assert not cert.ok
+        assert "conservation-missing" in rules_of(cert)
+
+    def test_lost_whole_node_is_deadlock(self):
+        mspec = multinode_p100(3, gpus_per_node=2)
+        plan = plan_for(mspec, "alltoall", "hier2")
+        cert = check_plan(mspec, plan, PAYLOAD, lost={2, 3})  # node 1
+        assert not cert.ok
+        assert "deadlock-lost-device" in rules_of(cert)
+
+    def test_missized_gather_block_is_conservation(self):
+        mspec = multinode_p100(2, gpus_per_node=4)
+        plan = plan_for(mspec, "alltoall", "hier2")
+        rounds = list(plan.rounds)
+        found = False
+        for k, rnd in enumerate(rounds):
+            for i, m in enumerate(rnd):
+                if any("#g" in w for w in m.writes):  # a phase-1 gather
+                    rounds[k] = rnd[:i] + (replace(m, nbytes=m.nbytes / 2),) \
+                        + rnd[i + 1:]
+                    found = True
+                    break
+            if found:
+                break
+        assert found, "hier2 plan must have gather messages"
+        cert = check_plan(mspec, mutate(plan, rounds), PAYLOAD)
+        assert not cert.ok
+        assert "conservation-bytes" in rules_of(cert)
+
+    def test_hier2_non_relay_exchange_is_routing_violation(self):
+        mspec = multinode_p100(2, gpus_per_node=4)
+        plan = plan_for(mspec, "alltoall", "hier2")
+        rounds = list(plan.rounds)
+        found = False
+        for k, rnd in enumerate(rounds):
+            for i, m in enumerate(rnd):
+                if any("#x" in w for w in m.writes):  # an exchange message
+                    # reroute it through a device that is not the relay
+                    rounds[k] = rnd[:i] + (replace(m, dst=(m.dst + 1) % 8),) \
+                        + rnd[i + 1:]
+                    found = True
+                    break
+            if found:
+                break
+        assert found
+        cert = check_plan(mspec, mutate(plan, rounds), PAYLOAD)
+        assert "deadlock-routing" in rules_of(cert)
+
     def test_cross_node_routing_violation(self):
         mspec = multinode_p100(2, gpus_per_node=4)
         plan = plan_for(mspec, "alltoall", "hier")
@@ -302,10 +383,10 @@ def test_verify_matrix_small_is_clean():
     assert findings == []
     assert all(r["ok"] for r in rows)
     algos = {r["algorithm"] for r in rows}
-    assert algos == {"bulk", "direct", "ring", "bruck", "hier"}
+    assert algos == {"bulk", "direct", "ring", "bruck", "hier", "hier2"}
     specs = {r["spec"] for r in rows}
     assert {"flat2", "flat4", "nodes2x2", "nodes2x4-degraded",
-            "dgx1-degraded"} <= specs
+            "dgx1-degraded", "routed4x4-nodeloss"} <= specs
     # certificates double as the preallocation contract
     for r in rows:
         assert r["prealloc"]["peak_live_bytes"] >= 0

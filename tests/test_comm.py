@@ -22,6 +22,7 @@ from repro.core.plan import FmmFftPlan
 from repro.dfft.fft1d import Distributed1DFFT
 from repro.machine import topology as topo
 from repro.machine.cluster import VirtualCluster
+from repro.machine.multinode import multinode_p100, routed_multinode_p100
 from repro.machine.spec import (
     NVLINK_P100_LINK,
     P100,
@@ -81,6 +82,28 @@ class TestPlans:
     def test_hier_requires_multinode(self):
         with pytest.raises(ParameterError):
             build_plan(preset("8xP100"), "alltoall", 1e6, "hier")
+        with pytest.raises(ParameterError):
+            build_plan(preset("8xP100"), "alltoall", 1e6, "hier2")
+
+    def test_hier2_one_exchange_per_node_pair(self):
+        spec = multinode_p100(4, gpus_per_node=4)
+        plan = build_plan(spec, "alltoall", float(PAYLOAD), "hier2")
+        node_of = spec.graph.graph["node_of"]
+        inter = [(node_of[m.src], node_of[m.dst])
+                 for rnd in plan.rounds for m in rnd
+                 if node_of[m.src] != node_of[m.dst]]
+        # exactly one inter-node message per ordered node pair
+        assert sorted(inter) == sorted(
+            (i, j) for i in range(4) for j in range(4) if i != j)
+        # the NIC injection duty is spread across each node's devices,
+        # not funneled through one leader
+        senders_per_node = {}
+        for rnd in plan.rounds:
+            for m in rnd:
+                if node_of[m.src] != node_of[m.dst]:
+                    senders_per_node.setdefault(node_of[m.src],
+                                                set()).add(m.src)
+        assert all(len(s) >= 3 for s in senders_per_node.values())
 
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(ParameterError):
@@ -285,6 +308,70 @@ class TestEndToEnd:
             ref = np.fft.fft(x)  # lint: allow-np-fft
             err = np.linalg.norm(y - ref) / np.linalg.norm(ref)
             assert err < 1e-12, (algo, err)
+
+    def test_execute_mode_correct_under_hier2(self):
+        import numpy as np
+
+        spec = multinode_p100(2, gpus_per_node=2)
+        N = 1 << 12
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        for algo in ("hier", "hier2"):
+            cl = VirtualCluster(spec, execute=True)
+            y = Distributed1DFFT(N, cl, dtype="complex128",
+                                 comm_algorithm=algo).run(x)
+            ref = np.fft.fft(x)  # lint: allow-np-fft
+            err = np.linalg.norm(y - ref) / np.linalg.norm(ref)
+            assert err < 1e-12, (algo, err)
+            report = find_hazards(cl.ledger)
+            assert report.ok, report.render()
+
+    def test_hier2_schedule_hazard_free_on_routed_fabric(self):
+        spec = routed_multinode_p100(4, gpus_per_node=2, radix=4)
+        cl = VirtualCluster(spec, execute=False)
+        evs = comm.alltoall(cl, float(PAYLOAD), "x", reads=["s"],
+                            writes=["d"], algorithm="hier2")
+        comm.allgather(cl, float(PAYLOAD), "g", after=evs, reads=["d"],
+                       writes=["gath"], algorithm="hier2")
+        report = find_hazards(cl.ledger)
+        assert report.ok, report.render()
+        assert cl.wall_time() > 0.0
+
+
+class TestGroupedAlltoall:
+    def test_members_exchange_and_outsiders_idle(self):
+        spec = multinode_p100(2, gpus_per_node=4)
+        cl = VirtualCluster(spec, execute=False)
+        groups = [[0, 4], [1, 5], [2, 6]]  # device 3 and 7 sit out
+        evs = comm.grouped_alltoall(cl, float(PAYLOAD), "px",
+                                    groups=groups, reads=["s"], writes=["d"])
+        assert len(evs) == 8
+        touched = {r.device for r in cl.ledger}
+        assert 3 not in touched and 7 not in touched
+        report = find_hazards(cl.ledger)
+        assert report.ok, report.render()
+        # every pair inside a group exchanged the full per-peer share
+        total = sum(r.comm_bytes for r in cl.ledger)
+        assert total == pytest.approx(len(groups) * 2 * PAYLOAD)
+
+    def test_merged_rounds_price_nic_contention(self):
+        # three concurrent cross-node pair exchanges share each node's
+        # NIC, so the merged issue is slower than one pair alone
+        spec = multinode_p100(2, gpus_per_node=4)
+        cl_lone = VirtualCluster(spec, execute=False)
+        comm.grouped_alltoall(cl_lone, float(PAYLOAD), "px",
+                              groups=[[0, 4]], reads=["s"], writes=["d"])
+        cl_merged = VirtualCluster(spec, execute=False)
+        comm.grouped_alltoall(cl_merged, float(PAYLOAD), "px",
+                              groups=[[0, 4], [1, 5], [2, 6]],
+                              reads=["s"], writes=["d"])
+        assert cl_merged.wall_time() > 1.5 * cl_lone.wall_time()
+
+    def test_overlapping_groups_rejected(self):
+        cl = VirtualCluster(preset("8xP100"), execute=False)
+        with pytest.raises(ParameterError):
+            comm.grouped_alltoall(cl, 1e6, "px", groups=[[0, 1], [1, 2]],
+                                  writes=["d"])
 
 
 # ---------------------------------------------------------------------------

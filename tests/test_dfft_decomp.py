@@ -1,0 +1,126 @@
+"""Slab/pencil 3D decompositions: correctness, comm structure, timing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hazards import find_hazards
+from repro.dfft.decomp import DECOMPOSITIONS, Distributed3DFFT, default_grid
+from repro.machine.cluster import VirtualCluster
+from repro.machine.multinode import multinode_p100, routed_multinode_p100
+from repro.machine.spec import p100_nvlink_node
+from repro.util.validation import ParameterError
+
+
+def _rand3(nx, ny, nz, rng):
+    return (rng.standard_normal((nx, ny, nz))
+            + 1j * rng.standard_normal((nx, ny, nz)))
+
+
+class TestDefaultGrid:
+    def test_near_square(self):
+        assert default_grid(4) == (2, 2)
+        assert default_grid(8) == (2, 4)
+        assert default_grid(16) == (4, 4)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ParameterError):
+            default_grid(6)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("G", [2, 4])
+    def test_slab_matches_fftn(self, G, rng):
+        cl = VirtualCluster(p100_nvlink_node(G))
+        a = _rand3(16, 8, 8, rng)
+        out = Distributed3DFFT(16, 8, 8, cl).run(a)
+        np.testing.assert_allclose(out, np.fft.fftn(a), atol=1e-9)
+
+    @pytest.mark.parametrize("grid", [(2, 2), (1, 4), (4, 1)])
+    def test_pencil_matches_fftn(self, grid, rng):
+        cl = VirtualCluster(p100_nvlink_node(4))
+        a = _rand3(8, 16, 8, rng)
+        fft = Distributed3DFFT(8, 16, 8, cl, decomposition="pencil",
+                               grid=grid)
+        np.testing.assert_allclose(fft.run(a), np.fft.fftn(a), atol=1e-9)
+
+    def test_slab_hier2_on_multinode(self, rng):
+        cl = VirtualCluster(multinode_p100(2, 2))
+        a = _rand3(8, 8, 8, rng)
+        fft = Distributed3DFFT(8, 8, 8, cl, comm_algorithm="hier2")
+        np.testing.assert_allclose(fft.run(a), np.fft.fftn(a), atol=1e-9)
+        assert find_hazards(cl.ledger).ok
+
+    def test_pencil_on_multinode(self, rng):
+        cl = VirtualCluster(multinode_p100(2, 2))
+        a = _rand3(8, 8, 8, rng)
+        fft = Distributed3DFFT(8, 8, 8, cl, decomposition="pencil",
+                               grid=(2, 2))
+        np.testing.assert_allclose(fft.run(a), np.fft.fftn(a), atol=1e-9)
+        assert find_hazards(cl.ledger).ok
+
+    def test_rectangular_pencil(self, rng):
+        cl = VirtualCluster(p100_nvlink_node(8))
+        a = _rand3(8, 32, 16, rng)
+        fft = Distributed3DFFT(8, 32, 16, cl, decomposition="pencil")
+        np.testing.assert_allclose(fft.run(a), np.fft.fftn(a), atol=1e-8)
+
+
+class TestCommStructure:
+    def test_node_aligned_pencil_keeps_row_exchange_on_nvlink(self):
+        """grid=(nodes, gpus_per_node): the z<->y exchange never leaves
+        a node; only the y<->x exchange crosses the fabric."""
+        cl = VirtualCluster(multinode_p100(2, 2), execute=False)
+        Distributed3DFFT(1 << 6, 1 << 6, 1 << 6, cl,
+                         decomposition="pencil", grid=(2, 2)).run()
+        node_of = cl.spec.graph.graph["node_of"]
+        rowx = [e for e in cl.ledger.records()
+                if e.name.startswith("fft3d.rowx") and e.comm_bytes > 0]
+        assert rowx
+        for rec in rowx:
+            assert node_of[rec.device] == node_of[rec.peer]
+
+    def test_slab_issues_one_global_alltoall(self):
+        cl = VirtualCluster(p100_nvlink_node(4), execute=False)
+        Distributed3DFFT(1 << 6, 1 << 6, 1 << 6, cl).run()
+        comm_names = set(cl.ledger.comm_bytes_by_name())
+        assert comm_names == {"fft3d.transpose"}
+
+    def test_pencil_issues_two_exchanges(self):
+        cl = VirtualCluster(p100_nvlink_node(4), execute=False)
+        Distributed3DFFT(1 << 6, 1 << 6, 1 << 6, cl,
+                         decomposition="pencil").run()
+        comm_names = set(cl.ledger.comm_bytes_by_name())
+        assert comm_names == {"fft3d.rowx", "fft3d.colx"}
+
+    def test_timing_hazard_free_on_routed_fabric(self):
+        for decomp in DECOMPOSITIONS:
+            cl = VirtualCluster(
+                routed_multinode_p100(4, gpus_per_node=4, radix=8),
+                execute=False)
+            Distributed3DFFT(1 << 5, 1 << 5, 1 << 5, cl,
+                             decomposition=decomp).run()
+            assert find_hazards(cl.ledger).ok
+            assert cl.wall_time() > 0.0
+
+
+class TestValidation:
+    def test_rejects_unknown_decomposition(self):
+        cl = VirtualCluster(p100_nvlink_node(2), execute=False)
+        with pytest.raises(ParameterError):
+            Distributed3DFFT(8, 8, 8, cl, decomposition="brick")
+
+    def test_rejects_grid_mismatch(self):
+        cl = VirtualCluster(p100_nvlink_node(4), execute=False)
+        with pytest.raises(ParameterError):
+            Distributed3DFFT(8, 8, 8, cl, decomposition="pencil",
+                             grid=(2, 4))
+
+    def test_rejects_real_dtype(self):
+        cl = VirtualCluster(p100_nvlink_node(2), execute=False)
+        with pytest.raises(ParameterError):
+            Distributed3DFFT(8, 8, 8, cl, dtype="float64")
+
+    def test_rejects_indivisible_dims(self):
+        cl = VirtualCluster(p100_nvlink_node(4), execute=False)
+        with pytest.raises(ParameterError):
+            Distributed3DFFT(2, 8, 8, cl)  # nx=2 not divisible by G=4

@@ -1,0 +1,205 @@
+"""Routed fabric layer: tables, paths, hop pricing, and the cost-model
+regressions fixed alongside it (dead MPI-latency constant, incomplete
+``node_of`` misclassification, max-vs-sum diameter latency)."""
+
+import pytest
+
+from repro.machine import routing, topology as topo
+from repro.machine.multinode import (
+    DEFAULT_NIC,
+    DEFAULT_NIC_LATENCY,
+    multinode_graph,
+    multinode_p100,
+    routed_multinode_graph,
+    routed_multinode_p100,
+)
+from repro.machine.routing import Fabric
+from repro.machine.spec import (
+    ClusterSpec,
+    LinkSpec,
+    NVLINK_P100_LINK,
+    P100,
+    dgx1_p100,
+)
+from repro.util.validation import ParameterError
+
+
+def flat_graph(nodes=2, gpn=2):
+    return multinode_graph(nodes, gpn, NVLINK_P100_LINK, DEFAULT_NIC)
+
+
+def routed_graph(nodes=5, gpn=2, radix=4, o=1.0):
+    return routed_multinode_graph(
+        nodes, gpn, NVLINK_P100_LINK, DEFAULT_NIC,
+        radix=radix, oversubscription=o)
+
+
+class TestFabric:
+    def test_shape_properties(self):
+        fab = Fabric(nic=DEFAULT_NIC, radix=36)
+        assert fab.nodes_per_leaf == 18
+        assert fab.uplink_bandwidth == 18 * DEFAULT_NIC.bandwidth
+        assert fab.leaf_of(17) == 0
+        assert fab.leaf_of(18) == 1
+
+    def test_oversubscription_scales_uplink(self):
+        full = Fabric(nic=DEFAULT_NIC, radix=8)
+        half = Fabric(nic=DEFAULT_NIC, radix=8, oversubscription=2.0)
+        assert half.uplink_bandwidth == full.uplink_bandwidth / 2.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Fabric(nic=DEFAULT_NIC, radix=1)
+        with pytest.raises(ParameterError):
+            Fabric(nic=DEFAULT_NIC, oversubscription=0.0)
+        with pytest.raises(ParameterError):
+            Fabric(nic=object())  # no bandwidth/latency
+
+
+class TestRoutingTable:
+    def test_flat_route_is_single_crossbar(self):
+        g = flat_graph()
+        assert routing.trace_route(g, 0, 2) == ["node:0", "switch", "node:1"]
+
+    def test_same_leaf_route_skips_spine(self):
+        g = routed_graph()  # radix 4 -> 2 nodes per leaf
+        assert routing.trace_route(g, 0, 2) == ["node:0", "leaf:0", "node:1"]
+
+    def test_cross_leaf_route_traverses_spine(self):
+        g = routed_graph()
+        assert routing.trace_route(g, 0, 8) == [
+            "node:0", "leaf:0", "spine", "leaf:2", "node:4"]
+
+    def test_cross_leaf_flag(self):
+        g = routed_graph()
+        assert not routing.cross_leaf(g, 0, 2)
+        assert routing.cross_leaf(g, 0, 8)
+        assert not routing.cross_leaf(flat_graph(), 0, 2)
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(ParameterError):
+            routing.next_hop(flat_graph(), "rack:0", 1)
+
+    def test_single_node_graph_has_no_routes(self):
+        with pytest.raises(ParameterError):
+            routing.trace_route(dgx1_p100().graph, 0, 4)
+
+
+class TestHopPricing:
+    def test_flat_hops(self):
+        hops = routing.route_hops(flat_graph(), 0, 3)
+        assert [h.key for h in hops] == [("nic-tx", 0), ("nic-rx", 1)]
+        assert hops[0].latency == DEFAULT_NIC.latency
+        assert hops[1].latency == 0.0  # no switch silicon in the flat model
+
+    def test_cross_leaf_hops(self):
+        g = routed_graph()
+        hops = routing.route_hops(g, 0, 8)
+        assert [h.key for h in hops] == [
+            ("nic-tx", 0), ("up", 0), ("down", 2), ("nic-rx", 4)]
+
+    def test_same_node_pair_has_no_route(self):
+        with pytest.raises(ParameterError):
+            routing.route_hops(flat_graph(), 0, 1)
+
+    def test_inter_latency_sums_hops(self):
+        fab = routing.fabric_of(routed_graph())
+        # cross-leaf: MPI + NIC injection + up/down/egress switch exits
+        assert routing.inter_latency(routed_graph(), 0, 8) == pytest.approx(
+            DEFAULT_NIC_LATENCY + DEFAULT_NIC.latency + 3 * fab.switch_latency)
+        assert routing.inter_latency(routed_graph(), 0, 2) == pytest.approx(
+            DEFAULT_NIC_LATENCY + DEFAULT_NIC.latency + fab.switch_latency)
+
+    def test_inter_bandwidth_is_bottleneck_segment(self):
+        g = routed_graph(o=4.0)  # uplink: 2 * nic / 4 = nic / 2
+        assert routing.inter_bandwidth(g, 0, 8) == pytest.approx(
+            DEFAULT_NIC.bandwidth / 2.0)
+        assert routing.inter_bandwidth(g, 0, 2) == pytest.approx(
+            DEFAULT_NIC.bandwidth)
+
+
+class TestDeadConstantRegression:
+    """DEFAULT_NIC_LATENCY used to be defined and never read; inter-node
+    messages were charged wire latency only."""
+
+    def test_flat_graph_carries_mpi_latency(self):
+        assert routing.mpi_latency(flat_graph()) == DEFAULT_NIC_LATENCY
+
+    def test_pair_latency_includes_mpi_overhead(self):
+        g = flat_graph()
+        assert topo.pair_latency(g, 0, 2) == pytest.approx(
+            DEFAULT_NIC.latency + DEFAULT_NIC_LATENCY)
+        # intra-node pairs pay only their NVLink edge
+        assert topo.pair_latency(g, 0, 1) == NVLINK_P100_LINK.latency
+
+
+class TestNodeCoverValidation:
+    def test_link_class_rejects_incomplete_node_of(self):
+        g = flat_graph()
+        g.graph["node_of"] = {d: n for d, n in g.graph["node_of"].items()
+                              if d != 3}
+        with pytest.raises(ParameterError, match="missing"):
+            topo.link_class(g, 0, 3)
+
+    def test_cluster_spec_rejects_incomplete_node_of(self):
+        g = flat_graph()
+        del g.graph["node_of"][2]
+        with pytest.raises(ParameterError, match="missing"):
+            ClusterSpec(device=P100, num_devices=4, graph=g, name="broken")
+
+    def test_graphs_without_node_of_pass(self):
+        routing.validate_node_cover(dgx1_p100().graph)
+
+    def test_link_class_labels(self):
+        g = routed_graph()
+        assert topo.link_class(g, 0, 0) == "self"
+        assert topo.link_class(g, 0, 1) == "direct"
+        assert topo.link_class(g, 0, 2) == "inter-node"
+        assert topo.link_class(g, 0, 8) == "inter-node-far"
+
+
+class TestDiameterLatency:
+    def test_sums_route_instead_of_max_hop(self):
+        slow_nic = LinkSpec(bandwidth=10e9, latency=20e-6)
+        g = routed_multinode_graph(5, 2, NVLINK_P100_LINK, slow_nic, radix=4)
+        fab = routing.fabric_of(g)
+        want = (DEFAULT_NIC_LATENCY + slow_nic.latency
+                + 3 * fab.switch_latency)
+        assert routing.worst_route_latency(g) == pytest.approx(want)
+        assert topo.diameter_latency(g) == pytest.approx(want)
+
+    def test_single_leaf_pays_one_switch(self):
+        slow_nic = LinkSpec(bandwidth=10e9, latency=20e-6)
+        g = routed_multinode_graph(2, 2, NVLINK_P100_LINK, slow_nic, radix=4)
+        fab = routing.fabric_of(g)
+        assert routing.worst_route_latency(g) == pytest.approx(
+            DEFAULT_NIC_LATENCY + slow_nic.latency + fab.switch_latency)
+
+    def test_single_node_has_no_inter_routes(self):
+        assert routing.worst_route_latency(
+            multinode_p100(1, 4).graph) == 0.0
+
+    def test_nvlink_dominates_when_slower(self):
+        # NVLink's 8us edge latency exceeds the 5us flat inter-node path
+        g = flat_graph()
+        assert topo.diameter_latency(g) == NVLINK_P100_LINK.latency
+
+
+class TestSpecIntegration:
+    def test_routed_spec_fingerprint_differs_from_flat(self):
+        from repro.machine.spec import spec_fingerprint
+
+        flat = multinode_p100(4, 4)
+        routed = routed_multinode_p100(4, 4, radix=8)
+        assert spec_fingerprint(flat) != spec_fingerprint(routed)
+
+    def test_oversubscription_in_fingerprint(self):
+        from repro.machine.spec import spec_fingerprint
+
+        a = routed_multinode_p100(4, 4, radix=8, oversubscription=1.0)
+        b = routed_multinode_p100(4, 4, radix=8, oversubscription=2.0)
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_comm_latency_uses_routed_diameter(self):
+        spec = routed_multinode_p100(5, 2, radix=4)
+        assert spec.comm_latency() == topo.diameter_latency(spec.graph)
